@@ -1,0 +1,38 @@
+//! Event-graph construction throughput (trace → graph), plus Lamport
+//! clock computation and logical-time slicing.
+
+use anacin_event_graph::{lamport, slice, EventGraph};
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::{simulate, SimConfig, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn make_trace(procs: u32) -> Trace {
+    let program = Pattern::Amg2013.build(&MiniAppConfig::with_procs(procs).iterations(2));
+    simulate(&program, &SimConfig::with_nd_percent(100.0, 1)).unwrap()
+}
+
+fn graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    for procs in [8u32, 16, 32] {
+        let trace = make_trace(procs);
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(BenchmarkId::new("from_trace", procs), &trace, |b, t| {
+            b.iter(|| EventGraph::from_trace(t));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("graph_algo");
+    let trace = make_trace(16);
+    let graph = EventGraph::from_trace(&trace);
+    group.bench_function("lamport_times", |b| {
+        b.iter(|| lamport::lamport_times(&graph))
+    });
+    group.bench_function("slice_into_16", |b| {
+        b.iter(|| slice::slice_into(&graph, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_build);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Record/replay overhead and the delay-distribution ablation
+//! (DESIGN.md design choices #3/#4).
+//!
+//! * `replay_overhead` — cost of a replayed run vs a free run: replay adds
+//!   a per-receive constraint check, so the overhead should be small.
+//! * `delay_distribution` — simulation cost under exponential, uniform and
+//!   Pareto congestion delays; the companion shape facts (Figure-7
+//!   monotonicity is robust to the distribution) are asserted in the
+//!   integration tests.
+
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::network::{DelayDistribution, NetworkConfig};
+use anacin_mpisim::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn replay_overhead(c: &mut Criterion) {
+    let program = Pattern::Amg2013.build(&MiniAppConfig::with_procs(16));
+    let sim = SimConfig::with_nd_percent(100.0, 1);
+    let recorded = simulate(&program, &sim).unwrap();
+    let record = MatchRecord::from_trace(&recorded);
+    let mut group = c.benchmark_group("replay_overhead");
+    group.bench_function("free_run", |b| {
+        b.iter(|| simulate(&program, &sim).unwrap());
+    });
+    group.bench_function("replayed_run", |b| {
+        b.iter(|| simulate_replay(&program, &sim, &record).unwrap());
+    });
+    group.finish();
+}
+
+fn delay_distribution(c: &mut Criterion) {
+    let program = Pattern::UnstructuredMesh.build(&MiniAppConfig::with_procs(16).iterations(2));
+    let mut group = c.benchmark_group("delay_distribution");
+    let dists = [
+        ("exponential", DelayDistribution::Exponential { mean_ns: 100.0 }),
+        (
+            "uniform",
+            DelayDistribution::Uniform {
+                lo_ns: 0.0,
+                hi_ns: 200.0,
+            },
+        ),
+        (
+            "pareto",
+            DelayDistribution::Pareto {
+                xm_ns: 50.0,
+                alpha: 2.0,
+            },
+        ),
+    ];
+    for (name, dist) in dists {
+        let cfg = SimConfig {
+            network: NetworkConfig::with_nd_percent(100.0).delay(dist),
+            seed: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                simulate(
+                    &program,
+                    &SimConfig {
+                        network: cfg.network.clone(),
+                        seed,
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, replay_overhead, delay_distribution);
+criterion_main!(benches);

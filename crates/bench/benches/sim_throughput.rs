@@ -1,0 +1,39 @@
+//! DES engine throughput: simulated events per second as a function of
+//! rank count and communication pattern.
+
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::{simulate, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for pattern in [
+        Pattern::MessageRace,
+        Pattern::Amg2013,
+        Pattern::UnstructuredMesh,
+    ] {
+        for procs in [8u32, 16, 32] {
+            let program = pattern.build(&MiniAppConfig::with_procs(procs));
+            let events = {
+                let t = simulate(&program, &SimConfig::with_nd_percent(100.0, 1)).unwrap();
+                t.total_events() as u64
+            };
+            group.throughput(Throughput::Elements(events));
+            group.bench_with_input(
+                BenchmarkId::new(pattern.name(), procs),
+                &program,
+                |b, p| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate(p, &SimConfig::with_nd_percent(100.0, seed)).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 1 of the paper. Pass --paper-scale for the paper's
+//! full 16/32-process, 20-run scale (default: quick laptop scale).
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper-scale") {
+        anacin_bench::Scale::paper()
+    } else {
+        anacin_bench::Scale::quick()
+    };
+    let fig = anacin_bench::by_id("fig1", &scale).expect("known figure id");
+    println!("=== {} ===", fig.title);
+    println!("{}", fig.text);
+    for (claim, ok) in &fig.checks {
+        println!("[{}] {claim}", if *ok { "PASS" } else { "FAIL" });
+    }
+    if let Some(svg) = &fig.svg {
+        std::fs::create_dir_all("figures").expect("create figures dir");
+        let path = format!("figures/{}.svg", fig.id);
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {path}");
+    }
+    assert!(fig.passed(), "shape checks failed");
+}

@@ -1,0 +1,13 @@
+//! # anacin-bench
+//!
+//! The benchmark and reproduction harness: [`figures`] regenerates every
+//! table and figure of the paper (with shape checks), and the `benches/`
+//! directory holds the Criterion performance benchmarks. Binaries under
+//! `src/bin/` print one artifact each (`fig1_event_graph`, …,
+//! `fig8_callstacks`, `tables_course`).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{by_id, FigureOutput, Scale, ALL_IDS};

@@ -1,0 +1,745 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use anacin_bench::{by_id, Scale, ALL_IDS};
+use anacin_core::prelude::*;
+use anacin_course::prelude::*;
+use anacin_event_graph::{export, EventGraph};
+use anacin_kernels::prelude::*;
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::prelude::*;
+use anacin_viz::{ascii, svg};
+use std::io::Write as _;
+
+const HELP: &str = "\
+anacin — analysis of non-determinism in message-passing applications
+
+USAGE: anacin <command> [options]
+
+COMMANDS
+  run         run a measurement campaign
+              --pattern race|amg2013|mesh|collectives  --procs N  --nd P
+              --runs N  --iterations N  --nodes N  --seed S  [--json]
+  graph       render one run's event graph
+              --pattern … --procs N --nd P --seed S
+              --format ascii|dot|graphml|json|svg  [--out FILE]
+  distance    kernel distance between two runs
+              --pattern … --procs N --nd P --seed-a A --seed-b B
+  sweep       parameter sweep
+              --kind nd|procs|iterations  --pattern … --procs N --runs N
+  root-cause  callstack ranking for a campaign
+              --pattern … --procs N --runs N  [--slices K] [--top FRAC]
+  replay      record/replay demonstration (ReMPI-style)
+              --pattern … --procs N --seed S
+  figure      regenerate a paper artifact: tables, 1..8 or all
+              anacin figure 7 [--paper-scale] [--out-dir DIR]
+  embed       2-D MDS embedding of a run sample in kernel space
+              --pattern … --procs N --nd P --runs N  [--out FILE.svg]
+  diff        race report: which receives matched differently in two runs
+              --pattern … --procs N --nd P --seed-a A --seed-b B
+  heatmap     pairwise kernel-distance heatmap over a run sample
+              --pattern … --procs N --runs N  [--out FILE.svg]
+  reduction   numerical reproducibility of arrival-order reductions
+              --procs N --nd P --runs N
+  ablation    compare kernels' ability to measure ND on one sample
+              --pattern … --procs N --runs N
+  report      one-file HTML report of a campaign (violins, heatmap,
+              embedding, root causes) — … --out report.html
+  explain     shortest happens-before chain between two events
+              --pattern … --procs N --nd P --seed S
+              --from RANK.IDX --to RANK.IDX
+  exercise    list exercises, or grade the reference/broken solutions
+              anacin exercise [ID] [--solve]
+  inspect     structural profile of one run: traffic matrix, wildcard
+              exposure — --pattern … --procs N --nd P --seed S
+  timeline    per-rank Gantt view of one run
+              --pattern … --procs N --nd P --seed S  [--out FILE.svg]
+  trace       export one run's trace as JSON — … [--out FILE]
+  record      save a run's matching decisions — … --out FILE
+              (feed back with: replay --record FILE)
+  course      print the course module; --lesson 1..4 runs a use case
+              [--level a|b|c] [--answers] [--agenda] [--related-work]
+  help        this message
+";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &Args) -> Result<(), String> {
+    match args.command.as_deref() {
+        None | Some("help") => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some("run") => cmd_run(args),
+        Some("graph") => cmd_graph(args),
+        Some("distance") => cmd_distance(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("root-cause") => cmd_root_cause(args),
+        Some("replay") => cmd_replay(args),
+        Some("figure") => cmd_figure(args),
+        Some("embed") => cmd_embed(args),
+        Some("diff") => cmd_diff(args),
+        Some("heatmap") => cmd_heatmap(args),
+        Some("reduction") => cmd_reduction(args),
+        Some("ablation") => cmd_ablation(args),
+        Some("report") => cmd_report(args),
+        Some("explain") => cmd_explain(args),
+        Some("exercise") => cmd_exercise(args),
+        Some("inspect") => cmd_inspect(args),
+        Some("timeline") => cmd_timeline(args),
+        Some("trace") => cmd_trace(args),
+        Some("record") => cmd_record(args),
+        Some("course") => cmd_course(args),
+        Some(other) => Err(format!("unknown command '{other}'; try 'anacin help'")),
+    }
+}
+
+fn pattern_of(args: &Args) -> Result<Pattern, String> {
+    args.get_or("pattern", "message-race")
+        .parse::<Pattern>()
+        .map_err(|e| e.to_string())
+}
+
+fn campaign_of(args: &Args) -> Result<CampaignConfig, String> {
+    let pattern = pattern_of(args)?;
+    let procs: u32 = args.get_parsed("procs", 8)?;
+    let mut cfg = CampaignConfig::new(pattern, procs)
+        .nd_percent(args.get_parsed("nd", 100.0)?)
+        .runs(args.get_parsed("runs", 20)?)
+        .iterations(args.get_parsed("iterations", 1u32)?)
+        .nodes(args.get_parsed("nodes", 1u32)?)
+        .base_seed(args.get_parsed("seed", 1u64)?);
+    cfg.app.message_bytes = args.get_parsed("bytes", 1u64)?;
+    Ok(cfg)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let cfg = campaign_of(args)?;
+    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let m = NdMeasurement::from_campaign(
+        format!("{} @ {}%", cfg.pattern, cfg.nd_percent),
+        &result,
+    );
+    if args.flag("json") {
+        let rep = MeasurementReport::from(&m);
+        println!(
+            "{}",
+            anacin_core::report::to_json(&rep).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "pattern={} procs={} nd={}% runs={} iterations={}",
+        cfg.pattern, cfg.app.procs, cfg.nd_percent, cfg.runs, cfg.app.iterations
+    );
+    println!(
+        "kernel distance over {} run pairs: mean={:.4} median={:.4} std={:.4}",
+        m.distances.len(),
+        m.summary.mean,
+        m.summary.median,
+        m.summary.std_dev
+    );
+    if let Some(v) = m.violin() {
+        print!("{}", ascii::violins(&[v], 48));
+    }
+    Ok(())
+}
+
+fn single_graph(args: &Args) -> Result<EventGraph, String> {
+    let pattern = pattern_of(args)?;
+    let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+    app.iterations = args.get_parsed("iterations", 1u32)?;
+    let program = pattern.build(&app);
+    let sim = SimConfig::with_nd_percent(
+        args.get_parsed("nd", 0.0)?,
+        args.get_parsed("seed", 1u64)?,
+    );
+    let t = simulate(&program, &sim).map_err(|e| e.to_string())?;
+    Ok(EventGraph::from_trace(&t))
+}
+
+fn write_out(args: &Args, content: &str) -> Result<(), String> {
+    match args.get("out") {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            f.write_all(content.as_bytes()).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_graph(args: &Args) -> Result<(), String> {
+    let g = single_graph(args)?;
+    let rendered = match args.get_or("format", "ascii").as_str() {
+        "ascii" => ascii::event_graph_lanes(&g),
+        "dot" => export::to_dot(&g),
+        "graphml" => export::to_graphml(&g),
+        "json" => export::to_json(&g).map_err(|e| e.to_string())?,
+        "svg" => svg::event_graph_svg(&g, "event graph"),
+        other => return Err(format!("unknown format '{other}'")),
+    };
+    write_out(args, &rendered)
+}
+
+fn cmd_distance(args: &Args) -> Result<(), String> {
+    let pattern = pattern_of(args)?;
+    let app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+    let program = pattern.build(&app);
+    let nd = args.get_parsed("nd", 100.0)?;
+    let seed_a = args.get_parsed("seed-a", 1u64)?;
+    let seed_b = args.get_parsed("seed-b", 2u64)?;
+    let ta = simulate(&program, &SimConfig::with_nd_percent(nd, seed_a))
+        .map_err(|e| e.to_string())?;
+    let tb = simulate(&program, &SimConfig::with_nd_percent(nd, seed_b))
+        .map_err(|e| e.to_string())?;
+    let ga = EventGraph::from_trace(&ta);
+    let gb = EventGraph::from_trace(&tb);
+    let k = WlKernel::default();
+    let d = distance(&k, &ga, &gb);
+    println!("kernel={} distance(seed {seed_a}, seed {seed_b}) = {d:.4}", k.name());
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let base = campaign_of(args)?;
+    let sweep = match args.get_or("kind", "nd").as_str() {
+        "nd" => {
+            let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+            sweep_nd_percent(&base, &percents)
+        }
+        "procs" => {
+            let p = base.app.procs;
+            sweep_procs(&base, &[(p / 2).max(2), p, p * 2])
+        }
+        "iterations" => sweep_iterations(&base, &[1, 2, 4]),
+        other => return Err(format!("unknown sweep kind '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{}", sweep_table(&sweep));
+    println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
+    Ok(())
+}
+
+fn cmd_root_cause(args: &Args) -> Result<(), String> {
+    let cfg = campaign_of(args)?;
+    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let rc = RootCauseConfig {
+        slices: args.get_parsed("slices", 16usize)?,
+        top_fraction: args.get_parsed("top", 0.25f64)?,
+        ..Default::default()
+    };
+    let ranking = analyze(&result, &rc);
+    print!("{}", ranking_table(&ranking, 10));
+    println!(
+        "high-ND windows: {:?} (of {} windows)",
+        ranking.high_slices, rc.slices
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let pattern = pattern_of(args)?;
+    let app = MiniAppConfig::with_procs(args.get_parsed("procs", 6)?);
+    let program = pattern.build(&app);
+    let seed = args.get_parsed("seed", 1u64)?;
+    let recorded = simulate(&program, &SimConfig::with_nd_percent(100.0, seed))
+        .map_err(|e| e.to_string())?;
+    let record = match args.get("record") {
+        Some(path) => {
+            let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let rec: MatchRecord = serde_json::from_str(&data).map_err(|e| e.to_string())?;
+            println!("loaded match record from {path} ({} decisions)", rec.total());
+            rec
+        }
+        None => MatchRecord::from_trace(&recorded),
+    };
+    println!(
+        "recorded run (seed {seed}): {} receive decisions captured",
+        record.total()
+    );
+    let k = WlKernel::default();
+    let g_rec = EventGraph::from_trace(&recorded);
+    let mut max_free = 0.0f64;
+    let mut max_replay = 0.0f64;
+    for other_seed in (seed + 1)..(seed + 6) {
+        let free = simulate(&program, &SimConfig::with_nd_percent(100.0, other_seed))
+            .map_err(|e| e.to_string())?;
+        let replayed = simulate_replay(
+            &program,
+            &SimConfig::with_nd_percent(100.0, other_seed),
+            &record,
+        )
+        .map_err(|e| e.to_string())?;
+        let d_free = distance(&k, &g_rec, &EventGraph::from_trace(&free));
+        let d_rep = distance(&k, &g_rec, &EventGraph::from_trace(&replayed));
+        println!(
+            "seed {other_seed}: free-run distance = {d_free:.4}, replayed distance = {d_rep:.4}"
+        );
+        max_free = max_free.max(d_free);
+        max_replay = max_replay.max(d_rep);
+    }
+    println!(
+        "replay pins matching: max replayed distance {max_replay:.4} (free runs reached \
+         {max_free:.4})"
+    );
+    Ok(())
+}
+
+fn cmd_figure(args: &Args) -> Result<(), String> {
+    let scale = if args.flag("paper-scale") {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
+    let id = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all");
+    let ids: Vec<&str> = if id == "all" {
+        ALL_IDS.to_vec()
+    } else {
+        vec![id]
+    };
+    for id in ids {
+        let fig = by_id(id, &scale).ok_or_else(|| format!("unknown figure id '{id}'"))?;
+        println!("=== {} ===", fig.title);
+        println!("{}", fig.text);
+        for (claim, ok) in &fig.checks {
+            println!("[{}] {claim}", if *ok { "PASS" } else { "FAIL" });
+        }
+        if let (Some(dir), Some(svg)) = (args.get("out-dir"), fig.svg.as_deref()) {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let path = format!("{dir}/{}.svg", fig.id);
+            std::fs::write(&path, svg).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_course(args: &Args) -> Result<(), String> {
+    if let Some(lesson) = args.get("lesson") {
+        let cfg = if args.flag("paper-scale") {
+            LessonConfig::paper_scale()
+        } else {
+            LessonConfig::default()
+        };
+        let report = match lesson {
+            "1" => use_case_1(&cfg),
+            "2" => use_case_2(&cfg),
+            "3" => use_case_3(&cfg),
+            "4" => use_case_4(&cfg),
+            other => return Err(format!("unknown lesson '{other}' (expected 1, 2, 3 or 4)")),
+        };
+        println!("=== {} ===\n", report.title);
+        println!("{}", report.narrative);
+        for c in &report.checks {
+            println!(
+                "[{}] {} — {}",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            );
+        }
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err("lesson checks failed".to_string())
+        };
+    }
+    if args.flag("related-work") {
+        println!("{}", anacin_course::related_work::comparison());
+        return Ok(());
+    }
+    if args.flag("agenda") {
+        println!("{}", anacin_course::tutorial::agenda());
+        return Ok(());
+    }
+    // No lesson: print the course structure.
+    let levels: Vec<Level> = match args.get("level") {
+        Some("a") | Some("A") => vec![Level::Beginner],
+        Some("b") | Some("B") => vec![Level::Intermediate],
+        Some("c") | Some("C") => vec![Level::Advanced],
+        None => Level::ALL.to_vec(),
+        Some(other) => return Err(format!("unknown level '{other}'")),
+    };
+    println!("{}", table_i());
+    println!("{}", table_ii());
+    for level in levels {
+        println!("Questions — {level}:");
+        for q in questions_of(level) {
+            println!("  ({}) {}", q.goal, q.prompt);
+            if args.flag("answers") {
+                println!("      → {}", q.answer);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_embed(args: &Args) -> Result<(), String> {
+    let cfg = campaign_of(args)?;
+    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let embedding = mds(&result.matrix);
+    println!(
+        "embedded {} runs; axis variances: {:.4} / {:.4}",
+        embedding.points.len(),
+        embedding.eigenvalues.0,
+        embedding.eigenvalues.1
+    );
+    for (i, (x, y)) in embedding.points.iter().enumerate() {
+        println!("run {i:>3} (seed {}): ({x:>9.4}, {y:>9.4})", cfg.base_seed + i as u64);
+    }
+    if let Some(path) = args.get("out") {
+        let svg = anacin_viz::heatmap::scatter_svg(
+            &embedding.points,
+            &format!("{} runs in kernel space", cfg.pattern),
+        );
+        std::fs::write(path, svg).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let pattern = pattern_of(args)?;
+    let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+    app.iterations = args.get_parsed("iterations", 1u32)?;
+    let program = pattern.build(&app);
+    let nd = args.get_parsed("nd", 100.0)?;
+    let seed_a = args.get_parsed("seed-a", 1u64)?;
+    let seed_b = args.get_parsed("seed-b", 2u64)?;
+    let ga = EventGraph::from_trace(
+        &simulate(&program, &SimConfig::with_nd_percent(nd, seed_a))
+            .map_err(|e| e.to_string())?,
+    );
+    let gb = EventGraph::from_trace(
+        &simulate(&program, &SimConfig::with_nd_percent(nd, seed_b))
+            .map_err(|e| e.to_string())?,
+    );
+    let d = anacin_event_graph::diff::diff(&ga, &gb).map_err(|e| e.to_string())?;
+    print!("{d}");
+    if d.identical() {
+        println!("runs {seed_a} and {seed_b} matched every message identically");
+    }
+    Ok(())
+}
+
+fn cmd_heatmap(args: &Args) -> Result<(), String> {
+    let cfg = campaign_of(args)?;
+    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let n = result.matrix.len();
+    print!(
+        "{}",
+        anacin_viz::heatmap::heatmap_ascii(n, |i, j| result.matrix.distance(i, j))
+    );
+    if let Some(path) = args.get("out") {
+        let svg = anacin_viz::heatmap::heatmap_svg(
+            n,
+            |i, j| result.matrix.distance(i, j),
+            &format!("pairwise kernel distances: {}", cfg.pattern),
+        );
+        std::fs::write(path, svg).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_reduction(args: &Args) -> Result<(), String> {
+    use anacin_numerics::prelude::*;
+    let exp = ReductionExperiment {
+        procs: args.get_parsed("procs", 16)?,
+        nd_percent: args.get_parsed("nd", 100.0)?,
+        runs: args.get_parsed("runs", 20)?,
+        seed: args.get_parsed("seed", 0xF10A7u64)?,
+        magnitude_range: args.get_parsed("range", 6.0f64)?,
+    };
+    let report = anacin_numerics::run(&exp);
+    println!(
+        "{} contributors, {} runs, {} distinct arrival orders\n",
+        exp.procs - 1,
+        exp.runs,
+        report.distinct_orders
+    );
+    println!("{:>14} {:>10} {:>14}", "algorithm", "distinct", "spread");
+    for o in &report.outcomes {
+        println!("{:>14} {:>10} {:>14.6e}", o.algorithm, o.distinct, o.spread);
+    }
+    println!(
+        "\nan arrival-order (sequential) reduction is irreproducible; canonicalising the\n\
+         order (sorted) restores bitwise reproducibility — the Enzo lesson (paper §I)."
+    );
+    Ok(())
+}
+
+fn cmd_exercise(args: &Args) -> Result<(), String> {
+    use anacin_course::exercises as ex;
+    match args.positional.first().map(String::as_str) {
+        None => {
+            println!("exercises:");
+            for e in &ex::EXERCISES {
+                println!("  [{}] {} — {}", e.level.code(), e.id, e.prompt);
+            }
+            println!("\nrun `anacin exercise <id> --solve` to grade the reference solution");
+            Ok(())
+        }
+        Some(id) => {
+            let e = ex::by_id(id).ok_or_else(|| format!("unknown exercise '{id}'"))?;
+            println!("[{}] {}\n{}\n", e.level.code(), e.id, e.prompt);
+            if !args.flag("solve") {
+                return Ok(());
+            }
+            let (result, label) = match id {
+                "write-a-race" => (ex::check_write_a_race(&ex::solve_write_a_race()), "reference"),
+                "make-it-deterministic" => (
+                    ex::check_make_it_deterministic(&ex::solve_make_it_deterministic()),
+                    "reference",
+                ),
+                "fix-the-deadlock" => {
+                    println!(
+                        "broken starting point: {}",
+                        ex::check_fix_the_deadlock(&ex::broken_fix_the_deadlock())
+                            .expect_err("the broken version must fail")
+                    );
+                    (ex::check_fix_the_deadlock(&ex::solve_fix_the_deadlock()), "reference")
+                }
+                "bound-the-race" => {
+                    (ex::check_bound_the_race(&ex::solve_bound_the_race()), "reference")
+                }
+                _ => unreachable!("catalogue covered"),
+            };
+            match result {
+                Ok(()) => {
+                    println!("[PASS] {label} solution satisfies the checker");
+                    Ok(())
+                }
+                Err(e) => Err(format!("{label} solution failed: {e}")),
+            }
+        }
+    }
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    // Static checks first: surface the diagnostics a student would want.
+    let pattern = pattern_of(args)?;
+    let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+    app.iterations = args.get_parsed("iterations", 1u32)?;
+    let program = pattern.build(&app);
+    match program.check_balance() {
+        Ok(()) => println!("static balance check: ok"),
+        Err(e) => println!("static balance check: {e}"),
+    }
+    match program.check_requests() {
+        Ok(()) => println!("static request check: ok"),
+        Err(e) => println!("static request check: {e}"),
+    }
+    let g = single_graph(args)?;
+    let stats = anacin_event_graph::stats::GraphStats::of(&g);
+    print!("{}", stats.render());
+    if let Some((src, dst, m)) = stats.hottest_channel() {
+        println!("hottest channel: {src} -> {dst} ({m} message(s))");
+    }
+    println!(
+        "race exposure: {:.0}% of receives use wildcards{}",
+        stats.wildcard_fraction() * 100.0,
+        if stats.wildcard_fraction() > 0.0 {
+            " — these are the potential root sources of non-determinism"
+        } else {
+            " — this program's matching is fully specified"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    let pattern = pattern_of(args)?;
+    let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+    app.iterations = args.get_parsed("iterations", 1u32)?;
+    let program = pattern.build(&app);
+    let sim = SimConfig::with_nd_percent(
+        args.get_parsed("nd", 0.0)?,
+        args.get_parsed("seed", 1u64)?,
+    );
+    let trace = simulate(&program, &sim).map_err(|e| e.to_string())?;
+    let tl = anacin_mpisim::timeline::Timeline::of(&trace);
+    print!("{}", anacin_viz::gantt::gantt_ascii(&tl, 64));
+    print!("{}", anacin_viz::gantt::time_breakdown(&tl));
+    if let Some(path) = args.get("out") {
+        let svg = anacin_viz::gantt::gantt_svg(&tl, &format!("{} timeline", pattern));
+        std::fs::write(path, svg).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let pattern = pattern_of(args)?;
+    let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+    app.iterations = args.get_parsed("iterations", 1u32)?;
+    let program = pattern.build(&app);
+    let sim = SimConfig::with_nd_percent(
+        args.get_parsed("nd", 0.0)?,
+        args.get_parsed("seed", 1u64)?,
+    );
+    let trace = simulate(&program, &sim).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
+    write_out(args, &json)
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let pattern = pattern_of(args)?;
+    let app = MiniAppConfig::with_procs(args.get_parsed("procs", 6)?);
+    let program = pattern.build(&app);
+    let seed = args.get_parsed("seed", 1u64)?;
+    let nd = args.get_parsed("nd", 100.0)?;
+    let trace = simulate(&program, &SimConfig::with_nd_percent(nd, seed))
+        .map_err(|e| e.to_string())?;
+    let record = MatchRecord::from_trace(&trace);
+    let path = args
+        .get("out")
+        .ok_or("record requires --out FILE")?
+        .to_string();
+    let json = serde_json::to_string(&record).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
+    println!(
+        "recorded {} matching decisions from seed {seed} into {path}",
+        record.total()
+    );
+    Ok(())
+}
+
+fn cmd_ablation(args: &Args) -> Result<(), String> {
+    let cfg = campaign_of(args)?;
+    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let report = anacin_core::ablation::ablate(&result, &anacin_core::ablation::default_kernels());
+    print!("{}", report.table());
+    let top = report.by_signal()[0].kernel.clone();
+    println!("\nmost discriminating kernel on this sample: {top}");
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    use anacin_viz::html::HtmlReport;
+    let cfg = campaign_of(args)?;
+    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let m = NdMeasurement::from_campaign(format!("{}", cfg.pattern), &result);
+    let mut report = HtmlReport::new(
+        format!("Non-determinism report: {}", cfg.pattern),
+        format!(
+            "{} processes, {} iterations, nd = {}%, {} runs (seeds {}..{}), kernel = {}",
+            cfg.app.procs,
+            cfg.app.iterations,
+            cfg.nd_percent,
+            cfg.runs,
+            cfg.base_seed,
+            cfg.base_seed + cfg.runs as u64 - 1,
+            result.matrix.kernel_name(),
+        ),
+    );
+    report.text_section(
+        "Measurement summary",
+        "Pairwise kernel distances between runs; the paper's scalar proxy for the amount \
+         of communication non-determinism.",
+        format!(
+            "pairs: {}\nmean: {:.4}\nmedian: {:.4}\nstd dev: {:.4}\nmin: {:.4}\nmax: {:.4}",
+            m.distances.len(),
+            m.summary.mean,
+            m.summary.median,
+            m.summary.std_dev,
+            m.summary.min,
+            m.summary.max
+        ),
+    );
+    if let Some(v) = m.violin() {
+        report.svg_section(
+            "Kernel-distance distribution",
+            "The violin the paper's Figures 5-7 are built from.",
+            svg::violin_svg(&[v], "kernel distances", "kernel distance"),
+        );
+    }
+    let n = result.matrix.len();
+    report.svg_section(
+        "Pairwise distance heatmap",
+        "Which run pairs diverge; a uniform block means isotropic non-determinism, \
+         stripes mean outlier runs.",
+        anacin_viz::heatmap::heatmap_svg(n, |i, j| result.matrix.distance(i, j), "run pairs"),
+    );
+    let embedding = mds(&result.matrix);
+    report.svg_section(
+        "Runs in kernel space (classical MDS)",
+        "Each dot is one run; tight clusters are reproducible outcome classes.",
+        anacin_viz::heatmap::scatter_svg(&embedding.points, "run embedding"),
+    );
+    if result.graphs.len() >= 2 {
+        let ranking = analyze(&result, &RootCauseConfig::default());
+        let items: Vec<(String, f64)> = ranking
+            .entries
+            .iter()
+            .take(8)
+            .map(|e| (e.stack.clone(), e.frequency))
+            .collect();
+        report.svg_section(
+            "Root-source call paths",
+            "Call paths of receives in the most divergent logical-time windows, weighted \
+             by their label disagreement (the paper's Figure 8).",
+            svg::bar_chart_svg(&items, "root sources", "normalized relative frequency"),
+        );
+        report.text_section(
+            "Ranked call paths",
+            "Most likely root sources of non-determinism first.",
+            ranking_table(&ranking, 10),
+        );
+    }
+    report.svg_section(
+        "Event graph of run 0",
+        "Green = process start/end, blue = send, red = receive; dashed edges are \
+         messages.",
+        svg::event_graph_svg(&result.graphs[0], "run 0"),
+    );
+    let path = args.get("out").unwrap_or("report.html").to_string();
+    std::fs::write(&path, report.render()).map_err(|e| e.to_string())?;
+    println!("wrote {path} ({} sections)", report.len());
+    Ok(())
+}
+
+fn parse_event(spec: &str) -> Result<(u32, u32), String> {
+    let (r, i) = spec
+        .split_once('.')
+        .ok_or_else(|| format!("event spec '{spec}' must be RANK.INDEX, e.g. 0.3"))?;
+    Ok((
+        r.parse().map_err(|_| format!("bad rank in '{spec}'"))?,
+        i.parse().map_err(|_| format!("bad index in '{spec}'"))?,
+    ))
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let g = single_graph(args)?;
+    let (fr, fi) = parse_event(&args.get_or("from", "0.0"))?;
+    let (tr, ti) = parse_event(&args.get_or("to", "0.1"))?;
+    if fr >= g.world_size() || tr >= g.world_size() {
+        return Err("rank out of range".to_string());
+    }
+    let a = g.id_at(Rank(fr), fi);
+    let b = g.id_at(Rank(tr), ti);
+    match anacin_event_graph::explain::explain(&g, a, b) {
+        Some(chain) => {
+            print!("{}", chain.render(&g));
+            println!(
+                "({} hops, {} of them messages)",
+                chain.hops.len(),
+                chain.message_hops()
+            );
+        }
+        None => println!(
+            "rank {fr} event #{fi} does NOT happen-before rank {tr} event #{ti}: the two \
+             events are concurrent (or ordered the other way)"
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! # anacin-cli
+//!
+//! The `anacin` command-line interface: argument parsing ([`args`]) and
+//! subcommand implementations ([`commands`]). Split into a library so the
+//! command surface is integration-testable.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

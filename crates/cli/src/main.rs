@@ -1,0 +1,22 @@
+//! `anacin` binary entry point; all logic lives in the library so it can
+//! be integration-tested.
+
+use anacin_cli::args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let code = match anacin_cli::commands::dispatch(&parsed) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

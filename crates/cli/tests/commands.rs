@@ -1,0 +1,185 @@
+//! Integration tests of the CLI command surface (via the library, so no
+//! subprocess spawning; stdout output is exercised but not captured).
+
+use anacin_cli::args::Args;
+use anacin_cli::commands::dispatch;
+
+fn run(args: &[&str]) -> Result<(), String> {
+    let parsed = Args::parse(args.iter().map(|s| s.to_string()))?;
+    dispatch(&parsed)
+}
+
+#[test]
+fn help_and_unknown_command() {
+    run(&["help"]).unwrap();
+    run(&[]).unwrap();
+    let err = run(&["frobnicate"]).unwrap_err();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn run_command_small_campaign() {
+    run(&["run", "--pattern", "race", "--procs", "5", "--runs", "5"]).unwrap();
+    run(&[
+        "run", "--pattern", "amg", "--procs", "3", "--runs", "4", "--json",
+    ])
+    .unwrap();
+}
+
+#[test]
+fn run_rejects_bad_pattern_and_values() {
+    assert!(run(&["run", "--pattern", "nope"]).unwrap_err().contains("unknown pattern"));
+    assert!(run(&["run", "--procs", "three"]).unwrap_err().contains("invalid value"));
+}
+
+#[test]
+fn graph_formats() {
+    for fmt in ["ascii", "dot", "graphml", "json", "svg"] {
+        run(&["graph", "--pattern", "race", "--procs", "4", "--format", fmt]).unwrap();
+    }
+    assert!(run(&["graph", "--format", "png"]).unwrap_err().contains("unknown format"));
+}
+
+#[test]
+fn graph_writes_file() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.svg");
+    run(&[
+        "graph",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--format",
+        "svg",
+        "--out",
+        path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn distance_and_diff() {
+    run(&["distance", "--pattern", "race", "--procs", "5"]).unwrap();
+    run(&[
+        "diff", "--pattern", "race", "--procs", "5", "--seed-a", "1", "--seed-b", "9",
+    ])
+    .unwrap();
+}
+
+#[test]
+fn sweep_kinds() {
+    run(&[
+        "sweep", "--kind", "iterations", "--pattern", "race", "--procs", "4", "--runs", "4",
+    ])
+    .unwrap();
+    assert!(run(&["sweep", "--kind", "bananas"]).unwrap_err().contains("unknown sweep kind"));
+}
+
+#[test]
+fn root_cause_runs() {
+    run(&[
+        "root-cause", "--pattern", "amg", "--procs", "4", "--runs", "5",
+    ])
+    .unwrap();
+}
+
+#[test]
+fn replay_and_record_roundtrip() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let rec = dir.join("rec.json");
+    run(&[
+        "record", "--pattern", "race", "--procs", "5", "--out", rec.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "replay", "--pattern", "race", "--procs", "5", "--record", rec.to_str().unwrap(),
+    ])
+    .unwrap();
+    std::fs::remove_file(rec).ok();
+    assert!(run(&["record", "--pattern", "race"]).unwrap_err().contains("--out"));
+}
+
+#[test]
+fn inspect_timeline_trace() {
+    run(&["inspect", "--pattern", "mesh", "--procs", "5"]).unwrap();
+    run(&["timeline", "--pattern", "race", "--procs", "4", "--nd", "50"]).unwrap();
+    run(&["trace", "--pattern", "race", "--procs", "3"]).unwrap();
+}
+
+#[test]
+fn embed_and_heatmap() {
+    run(&[
+        "embed", "--pattern", "race", "--procs", "5", "--runs", "5",
+    ])
+    .unwrap();
+    run(&[
+        "heatmap", "--pattern", "race", "--procs", "5", "--runs", "5",
+    ])
+    .unwrap();
+}
+
+#[test]
+fn exercise_catalogue_and_grading() {
+    run(&["exercise"]).unwrap();
+    run(&["exercise", "write-a-race"]).unwrap();
+    run(&["exercise", "make-it-deterministic", "--solve"]).unwrap();
+    assert!(run(&["exercise", "nope"]).unwrap_err().contains("unknown exercise"));
+}
+
+#[test]
+fn course_structure_and_levels() {
+    run(&["course"]).unwrap();
+    run(&["course", "--level", "a", "--answers"]).unwrap();
+    assert!(run(&["course", "--level", "z"]).unwrap_err().contains("unknown level"));
+    assert!(run(&["course", "--lesson", "9"]).unwrap_err().contains("unknown lesson"));
+}
+
+#[test]
+fn reduction_command() {
+    run(&["reduction", "--procs", "8", "--runs", "8"]).unwrap();
+}
+
+#[test]
+fn figure_quick_artifacts() {
+    // Only the cheap static figures here; the campaign-driven ones are
+    // covered at quick scale by tests/paper_claims.rs.
+    for id in ["tables", "1", "2", "3", "4"] {
+        run(&["figure", id]).unwrap();
+    }
+    assert!(run(&["figure", "99"]).unwrap_err().contains("unknown figure"));
+}
+
+#[test]
+fn report_and_explain_and_ablation() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.html");
+    run(&[
+        "report", "--pattern", "race", "--procs", "5", "--runs", "5", "--out",
+        path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let html = std::fs::read_to_string(&path).unwrap();
+    assert!(html.contains("<svg"));
+    assert!(html.contains("Root-source call paths"));
+    std::fs::remove_file(path).ok();
+    run(&[
+        "explain", "--pattern", "race", "--procs", "4", "--from", "1.1", "--to", "0.4",
+    ])
+    .unwrap();
+    assert!(run(&["explain", "--from", "9.0"]).unwrap_err().contains("rank out of range"));
+    assert!(run(&["explain", "--from", "zero"]).unwrap_err().contains("RANK.INDEX"));
+    run(&["ablation", "--pattern", "race", "--procs", "5", "--runs", "5"]).unwrap();
+}
+
+#[test]
+fn course_agenda_and_related_work() {
+    run(&["course", "--agenda"]).unwrap();
+    run(&["course", "--related-work"]).unwrap();
+}

@@ -1,0 +1,171 @@
+//! The campaign runner: simulate N seeded runs in parallel, build their
+//! event graphs, and compute the kernel matrix.
+//!
+//! This is the paper's experimental loop ("run the same application many
+//! times to collect a sample of non-deterministic executions", §III-B),
+//! compressed from cluster-hours to milliseconds by the simulator.
+
+use crate::config::CampaignConfig;
+use anacin_event_graph::EventGraph;
+use anacin_kernels::matrix::{gram_matrix, KernelMatrix};
+use anacin_mpisim::engine::{simulate, SimError};
+use anacin_mpisim::program::Program;
+use anacin_mpisim::stack::CallStackTable;
+use anacin_mpisim::trace::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The artifacts of one campaign.
+pub struct CampaignResult {
+    /// The configuration that produced the result.
+    pub config: CampaignConfig,
+    /// The program all runs executed.
+    pub program: Program,
+    /// One trace per run (seed = `base_seed + i`).
+    pub traces: Vec<Trace>,
+    /// One event graph per run.
+    pub graphs: Vec<EventGraph>,
+    /// The kernel matrix over all runs.
+    pub matrix: KernelMatrix,
+}
+
+impl CampaignResult {
+    /// The interned call-path table (shared by every run).
+    pub fn stacks(&self) -> &CallStackTable {
+        self.program.stacks()
+    }
+
+    /// The kernel-distance sample: all pairwise distances between runs —
+    /// the data behind the paper's violins.
+    pub fn distance_sample(&self) -> Vec<f64> {
+        self.matrix.pairwise_distances()
+    }
+
+    /// The scalar "measured amount of non-determinism": the mean pairwise
+    /// kernel distance.
+    pub fn mean_distance(&self) -> f64 {
+        self.matrix.mean_pairwise_distance()
+    }
+}
+
+/// Simulate the campaign's runs in parallel.
+pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trace>, SimError> {
+    let runs = config.runs as usize;
+    let threads = config.threads.max(1).min(runs.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Vec<(usize, Result<Trace, SimError>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= runs {
+                            break;
+                        }
+                        let sc = config.sim_config(i as u32);
+                        local.push((i, simulate(program, &sc)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<Trace>> = (0..runs).map(|_| None).collect();
+    for chunk in results {
+        for (i, r) in chunk {
+            out[i] = Some(r?);
+        }
+    }
+    Ok(out.into_iter().map(|t| t.expect("all slots filled")).collect())
+}
+
+/// Run a full campaign: simulate, graph, and measure.
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SimError> {
+    let program = config.pattern.build(&config.app);
+    let traces = run_traces(&program, config)?;
+    let graphs: Vec<EventGraph> = traces.iter().map(EventGraph::from_trace).collect();
+    let kernel = config.kernel.instantiate();
+    let matrix = gram_matrix(kernel.as_ref(), &graphs, config.threads);
+    Ok(CampaignResult {
+        config: config.clone(),
+        program,
+        traces,
+        graphs,
+        matrix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_miniapps::Pattern;
+
+    #[test]
+    fn campaign_produces_consistent_artifacts() {
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6).runs(8);
+        let r = run_campaign(&cfg).unwrap();
+        assert_eq!(r.traces.len(), 8);
+        assert_eq!(r.graphs.len(), 8);
+        assert_eq!(r.matrix.len(), 8);
+        assert_eq!(r.distance_sample().len(), 8 * 7 / 2);
+        for t in &r.traces {
+            assert_eq!(t.meta.unmatched_messages, 0);
+        }
+    }
+
+    #[test]
+    fn zero_nd_campaign_has_zero_distance() {
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6)
+            .nd_percent(0.0)
+            .runs(6);
+        let r = run_campaign(&cfg).unwrap();
+        assert_eq!(r.mean_distance(), 0.0);
+    }
+
+    #[test]
+    fn full_nd_campaign_has_positive_distance() {
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 8).runs(10);
+        let r = run_campaign(&cfg).unwrap();
+        assert!(r.mean_distance() > 0.0);
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let cfg = CampaignConfig::new(Pattern::UnstructuredMesh, 6).runs(6);
+        let a = run_campaign(&cfg).unwrap();
+        let b = run_campaign(&cfg).unwrap();
+        assert_eq!(a.distance_sample(), b.distance_sample());
+    }
+
+    #[test]
+    fn different_base_seeds_usually_differ() {
+        let a = run_campaign(&CampaignConfig::new(Pattern::MessageRace, 8).runs(6))
+            .unwrap()
+            .mean_distance();
+        let b = run_campaign(
+            &CampaignConfig::new(Pattern::MessageRace, 8)
+                .runs(6)
+                .base_seed(5000),
+        )
+        .unwrap()
+        .mean_distance();
+        // Not a hard invariant, but with continuous delays a collision is
+        // effectively impossible.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_measurement() {
+        let mut cfg = CampaignConfig::new(Pattern::Amg2013, 4).runs(6);
+        cfg.threads = 1;
+        let a = run_campaign(&cfg).unwrap();
+        cfg.threads = 8;
+        let b = run_campaign(&cfg).unwrap();
+        assert_eq!(a.distance_sample(), b.distance_sample());
+    }
+}

@@ -1,0 +1,233 @@
+//! Campaign configuration: everything that defines one measurement.
+
+use anacin_event_graph::LabelPolicy;
+use anacin_kernels::prelude::*;
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::network::{DelayDistribution, NetworkConfig};
+use anacin_mpisim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which kernel a campaign measures with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Weisfeiler–Lehman subtree kernel (ANACIN-X default).
+    Wl {
+        /// WL iteration depth.
+        iterations: u32,
+        /// Node-label policy.
+        policy: LabelPolicy,
+    },
+    /// Vertex-histogram baseline.
+    VertexHistogram {
+        /// Node-label policy.
+        policy: LabelPolicy,
+    },
+    /// Edge-histogram baseline.
+    EdgeHistogram {
+        /// Node-label policy.
+        policy: LabelPolicy,
+    },
+    /// Bounded shortest-path kernel.
+    ShortestPath {
+        /// Node-label policy.
+        policy: LabelPolicy,
+        /// BFS horizon.
+        max_distance: u32,
+    },
+}
+
+impl Default for KernelChoice {
+    fn default() -> Self {
+        KernelChoice::Wl {
+            iterations: 3,
+            policy: LabelPolicy::default(),
+        }
+    }
+}
+
+impl KernelChoice {
+    /// Materialise the kernel object.
+    pub fn instantiate(&self) -> Box<dyn GraphKernel> {
+        match *self {
+            KernelChoice::Wl { iterations, policy } => Box::new(WlKernel {
+                iterations,
+                policy,
+                edge_sensitive: false,
+            }),
+            KernelChoice::VertexHistogram { policy } => {
+                Box::new(VertexHistogramKernel { policy })
+            }
+            KernelChoice::EdgeHistogram { policy } => Box::new(EdgeHistogramKernel { policy }),
+            KernelChoice::ShortestPath {
+                policy,
+                max_distance,
+            } => Box::new(ShortestPathKernel {
+                policy,
+                max_distance,
+            }),
+        }
+    }
+}
+
+/// One measurement campaign: run a pattern many times at a setting and
+/// measure the kernel-distance sample — the unit of every figure in the
+/// paper's evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Which mini-application to run.
+    pub pattern: Pattern,
+    /// The mini-application's parameters.
+    pub app: MiniAppConfig,
+    /// Percentage of non-determinism, `[0, 100]`.
+    pub nd_percent: f64,
+    /// Number of simulated compute nodes.
+    pub nodes: u32,
+    /// Number of runs (the paper uses 20 per setting).
+    pub runs: u32,
+    /// Seed of the first run; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Worker threads for simulation and kernel evaluation.
+    pub threads: usize,
+    /// The measurement kernel.
+    pub kernel: KernelChoice,
+    /// The congestion-delay distribution (ablation knob; the default is
+    /// tuned so reorder depth grows gradually with ND%, matching the
+    /// paper's Figure-7 shape rather than saturating instantly).
+    pub delay: DelayDistribution,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            pattern: Pattern::MessageRace,
+            app: MiniAppConfig::default(),
+            nd_percent: 100.0,
+            nodes: 1,
+            runs: 20,
+            base_seed: 1,
+            threads: default_threads(),
+            kernel: KernelChoice::default(),
+            delay: DelayDistribution::Exponential { mean_ns: 100.0 },
+        }
+    }
+}
+
+/// Available parallelism, bounded for laptop friendliness.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+impl CampaignConfig {
+    /// A campaign for `pattern` with `procs` processes, other fields
+    /// default.
+    pub fn new(pattern: Pattern, procs: u32) -> Self {
+        CampaignConfig {
+            pattern,
+            app: MiniAppConfig::with_procs(procs),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style: set the ND percentage.
+    pub fn nd_percent(mut self, percent: f64) -> Self {
+        self.nd_percent = percent;
+        self
+    }
+
+    /// Builder-style: set the run count.
+    pub fn runs(mut self, runs: u32) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Builder-style: set the iteration count of the app.
+    pub fn iterations(mut self, iterations: u32) -> Self {
+        self.app.iterations = iterations;
+        self
+    }
+
+    /// Builder-style: set the node count.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder-style: set the base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Builder-style: set the kernel.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder-style: set the congestion-delay distribution.
+    pub fn delay(mut self, delay: DelayDistribution) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// The simulator configuration of run `i`.
+    pub fn sim_config(&self, run: u32) -> SimConfig {
+        let network = NetworkConfig::with_nd_percent(self.nd_percent)
+            .nodes(self.nodes)
+            .delay(self.delay);
+        SimConfig {
+            network,
+            seed: self.base_seed + run as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_sim_config() {
+        let c = CampaignConfig::new(Pattern::Amg2013, 8)
+            .nd_percent(40.0)
+            .runs(5)
+            .iterations(2)
+            .nodes(2)
+            .base_seed(100);
+        assert_eq!(c.app.procs, 8);
+        assert_eq!(c.app.iterations, 2);
+        let sc = c.sim_config(3);
+        assert_eq!(sc.seed, 103);
+        assert!((sc.network.nd_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(sc.network.nodes, 2);
+    }
+
+    #[test]
+    fn kernel_choices_instantiate() {
+        use anacin_event_graph::LabelPolicy;
+        for k in [
+            KernelChoice::default(),
+            KernelChoice::VertexHistogram {
+                policy: LabelPolicy::EventType,
+            },
+            KernelChoice::EdgeHistogram {
+                policy: LabelPolicy::TypeAndPeer,
+            },
+            KernelChoice::ShortestPath {
+                policy: LabelPolicy::TypeAndPeer,
+                max_distance: 3,
+            },
+        ] {
+            let obj = k.instantiate();
+            assert!(!obj.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Root-cause (callstack) analysis — the paper's Use Case 3 / Figure 8.
+//!
+//! "The ANACIN-X environment identifies the callstacks in the application
+//! and measures their frequency. … the X-axis corresponds to the list of
+//! callstacks … identified as taking place during high periods of
+//! non-determinism. The Y-axis corresponds to the normalized relative
+//! frequency of the identified callstacks" (§III-C2).
+//!
+//! Pipeline:
+//! 1. slice every run's event graph into the same number of windows by
+//!    relative program position (run-invariant membership);
+//! 2. score each window by how much the runs *disagree* in it (mean
+//!    pairwise L1 distance between per-window label histograms);
+//! 3. keep the top windows, and within them attribute divergence to
+//!    receive events: each receive is weighted by how much its *own
+//!    label* disagrees across runs in that window, so a deterministic
+//!    receive that merely drifts across a window boundary contributes
+//!    little, while a wildcard receive that matched a different sender
+//!    contributes its full disagreement;
+//! 4. report call paths by normalized relative (weighted) frequency —
+//!    wildcard receive paths (the true root sources) rise to the top.
+
+use crate::campaign::CampaignResult;
+use anacin_event_graph::label::{initial_labels, LabelPolicy};
+use anacin_event_graph::slice::slice_by_position;
+use anacin_mpisim::stack::CallStackId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Root-cause analysis parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RootCauseConfig {
+    /// Number of logical-time windows per run.
+    pub slices: usize,
+    /// Fraction of divergent windows considered "high non-determinism"
+    /// (e.g. 0.25 keeps the top quartile).
+    pub top_fraction: f64,
+    /// Label policy used for the per-window divergence score.
+    pub policy: LabelPolicy,
+}
+
+impl Default for RootCauseConfig {
+    fn default() -> Self {
+        RootCauseConfig {
+            slices: 16,
+            top_fraction: 0.25,
+            policy: LabelPolicy::TypeAndPeer,
+        }
+    }
+}
+
+/// One ranked call path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallstackFrequency {
+    /// The full call path, rendered `outer > … > MPI_xxx`.
+    pub stack: String,
+    /// The innermost frame (the MPI call).
+    pub leaf: String,
+    /// Occurrences within high-ND windows, across all runs.
+    pub count: u64,
+    /// Divergence-weighted occurrence mass, normalised over all ranked
+    /// paths (sums to 1). This is the Y axis of the paper's Figure 8.
+    pub frequency: f64,
+}
+
+/// The output of root-cause analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallstackRanking {
+    /// Ranked call paths, most frequent first.
+    pub entries: Vec<CallstackFrequency>,
+    /// Divergence score per window index.
+    pub slice_divergence: Vec<f64>,
+    /// The window indices classified as high-ND.
+    pub high_slices: Vec<usize>,
+}
+
+impl CallstackRanking {
+    /// The top-ranked call path, if any.
+    pub fn top(&self) -> Option<&CallstackFrequency> {
+        self.entries.first()
+    }
+}
+
+/// Per-window label histograms for one run.
+fn window_histograms(
+    g: &anacin_event_graph::EventGraph,
+    slices: usize,
+    policy: LabelPolicy,
+) -> Vec<HashMap<u64, f64>> {
+    let labels = initial_labels(g, policy);
+    slice_by_position(g, slices)
+        .into_iter()
+        .map(|s| {
+            let mut h: HashMap<u64, f64> = HashMap::new();
+            for id in &s.nodes {
+                *h.entry(labels[id.index()]).or_insert(0.0) += 1.0;
+            }
+            h
+        })
+        .collect()
+}
+
+fn l1(a: &HashMap<u64, f64>, b: &HashMap<u64, f64>) -> f64 {
+    let mut keys: std::collections::HashSet<u64> = a.keys().copied().collect();
+    keys.extend(b.keys().copied());
+    keys.into_iter()
+        .map(|k| (a.get(&k).copied().unwrap_or(0.0) - b.get(&k).copied().unwrap_or(0.0)).abs())
+        .sum()
+}
+
+/// Run the analysis over a finished campaign.
+///
+/// # Panics
+/// Panics when the campaign has fewer than two runs (nothing to compare)
+/// or `config.slices == 0`.
+pub fn analyze(result: &CampaignResult, config: &RootCauseConfig) -> CallstackRanking {
+    assert!(result.graphs.len() >= 2, "need at least two runs to compare");
+    assert!(config.slices > 0, "need at least one slice");
+    let per_run: Vec<Vec<HashMap<u64, f64>>> = result
+        .graphs
+        .iter()
+        .map(|g| window_histograms(g, config.slices, config.policy))
+        .collect();
+    // Divergence per window: mean pairwise L1 across runs.
+    let runs = per_run.len();
+    let mut divergence = vec![0.0; config.slices];
+    for (s, div) in divergence.iter_mut().enumerate() {
+        let mut total = 0.0;
+        let mut pairs = 0u64;
+        for i in 0..runs {
+            for j in (i + 1)..runs {
+                total += l1(&per_run[i][s], &per_run[j][s]);
+                pairs += 1;
+            }
+        }
+        *div = if pairs > 0 { total / pairs as f64 } else { 0.0 };
+    }
+    // High-ND windows: top fraction of strictly positive divergences.
+    let mut positive: Vec<usize> = (0..config.slices)
+        .filter(|&s| divergence[s] > 0.0)
+        .collect();
+    positive.sort_by(|&a, &b| {
+        divergence[b]
+            .partial_cmp(&divergence[a])
+            .expect("divergences are finite")
+    });
+    let keep = ((positive.len() as f64 * config.top_fraction).ceil() as usize)
+        .max(1)
+        .min(positive.len());
+    let mut high: Vec<usize> = positive.into_iter().take(keep).collect();
+    high.sort_unstable();
+    // Per-window, per-label disagreement: how much each label's count
+    // varies across runs (mean pairwise |Δcount|). A receive whose label
+    // is identical in every run carries no root-cause signal.
+    let label_divergence: Vec<HashMap<u64, f64>> = high
+        .iter()
+        .map(|&s| {
+            let mut keys: std::collections::HashSet<u64> = Default::default();
+            for hist in per_run.iter().map(|r| &r[s]) {
+                keys.extend(hist.keys().copied());
+            }
+            let mut out = HashMap::new();
+            for key in keys {
+                let mut total = 0.0;
+                let mut pairs = 0u64;
+                for i in 0..runs {
+                    for j in (i + 1)..runs {
+                        let a = per_run[i][s].get(&key).copied().unwrap_or(0.0);
+                        let b = per_run[j][s].get(&key).copied().unwrap_or(0.0);
+                        total += (a - b).abs();
+                        pairs += 1;
+                    }
+                }
+                out.insert(key, if pairs > 0 { total / pairs as f64 } else { 0.0 });
+            }
+            out
+        })
+        .collect();
+    // Attribute: each receive in a high window adds its label's
+    // disagreement to its call path.
+    let mut counts: HashMap<CallStackId, u64> = HashMap::new();
+    let mut weights: HashMap<CallStackId, f64> = HashMap::new();
+    for g in &result.graphs {
+        let labels = initial_labels(g, config.policy);
+        let slices = slice_by_position(g, config.slices);
+        for (hi, &s) in high.iter().enumerate() {
+            for &id in &slices[s].nodes {
+                let node = g.node(id);
+                if node.kind.is_recv() {
+                    *counts.entry(node.stack).or_insert(0) += 1;
+                    let w = label_divergence[hi]
+                        .get(&labels[id.index()])
+                        .copied()
+                        .unwrap_or(0.0);
+                    *weights.entry(node.stack).or_insert(0.0) += w;
+                }
+            }
+        }
+    }
+    let total_weight: f64 = weights.values().sum();
+    let stacks = result.stacks();
+    let mut entries: Vec<CallstackFrequency> = counts
+        .into_iter()
+        .map(|(id, count)| {
+            let cs = stacks.resolve(id);
+            let w = weights.get(&id).copied().unwrap_or(0.0);
+            CallstackFrequency {
+                stack: cs.to_string(),
+                leaf: cs.leaf().unwrap_or("<unknown>").to_string(),
+                count,
+                frequency: if total_weight > 0.0 {
+                    w / total_weight
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.frequency
+            .partial_cmp(&a.frequency)
+            .expect("finite frequencies")
+            .then_with(|| b.count.cmp(&a.count))
+            .then_with(|| a.stack.cmp(&b.stack))
+    });
+    CallstackRanking {
+        entries,
+        slice_divergence: divergence,
+        high_slices: high,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::config::CampaignConfig;
+    use anacin_miniapps::Pattern;
+
+    #[test]
+    fn ranks_racy_receive_paths_first() {
+        let r = run_campaign(&CampaignConfig::new(Pattern::Amg2013, 6).runs(8)).unwrap();
+        let ranking = analyze(&r, &RootCauseConfig::default());
+        assert!(!ranking.entries.is_empty());
+        let top = ranking.top().unwrap();
+        // The AMG pattern's receives are hypre-style Irecvs — the true
+        // root source.
+        assert_eq!(top.leaf, "MPI_Irecv", "top path: {}", top.stack);
+        assert!(top.stack.contains("hypre"));
+        // Frequencies normalise.
+        let sum: f64 = ranking.entries.iter().map(|e| e.frequency).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_nd_campaign_has_no_divergence() {
+        let r = run_campaign(
+            &CampaignConfig::new(Pattern::Amg2013, 4)
+                .runs(5)
+                .nd_percent(0.0),
+        )
+        .unwrap();
+        let ranking = analyze(&r, &RootCauseConfig::default());
+        assert!(ranking.slice_divergence.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn divergence_positive_where_races_happen() {
+        let r = run_campaign(&CampaignConfig::new(Pattern::MessageRace, 8).runs(8)).unwrap();
+        let ranking = analyze(&r, &RootCauseConfig::default());
+        assert!(ranking.slice_divergence.iter().any(|&d| d > 0.0));
+        assert!(!ranking.high_slices.is_empty());
+        // All highs are in range and sorted.
+        for w in ranking.high_slices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // The race's aggregation path surfaces.
+        let top = ranking.top().unwrap();
+        assert!(
+            top.stack.contains("aggregate_results"),
+            "top path: {}",
+            top.stack
+        );
+    }
+
+    #[test]
+    fn mesh_pattern_surfaces_halo_receives() {
+        let r =
+            run_campaign(&CampaignConfig::new(Pattern::UnstructuredMesh, 8).runs(8)).unwrap();
+        let ranking = analyze(&r, &RootCauseConfig::default());
+        let top = ranking.top().unwrap();
+        assert!(
+            top.stack.contains("exchange_halo"),
+            "top path: {}",
+            top.stack
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two runs")]
+    fn single_run_panics() {
+        let r = run_campaign(&CampaignConfig::new(Pattern::MessageRace, 4).runs(1)).unwrap();
+        analyze(&r, &RootCauseConfig::default());
+    }
+}

@@ -1,0 +1,275 @@
+//! Graded exercises: students write *programs* (via the builder DSL) and
+//! the toolkit checks the required property automatically.
+//!
+//! Each exercise provides a `check` function over a student-submitted
+//! [`Program`] and a reference solution the instructor can reveal. The
+//! checkers run real simulations, so a submission passes exactly when it
+//! exhibits the behaviour the exercise teaches.
+
+use anacin_event_graph::EventGraph;
+use anacin_kernels::prelude::*;
+use anacin_mpisim::engine::SimError;
+use anacin_mpisim::prelude::*;
+
+use crate::levels::Level;
+
+/// An exercise's identity and statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exercise {
+    /// Stable identifier, e.g. "write-a-race".
+    pub id: &'static str,
+    /// Course level the exercise belongs to.
+    pub level: Level,
+    /// The task statement given to students.
+    pub prompt: &'static str,
+}
+
+/// The exercise catalogue.
+pub const EXERCISES: [Exercise; 4] = [
+    Exercise {
+        id: "write-a-race",
+        level: Level::Beginner,
+        prompt: "Write a 4-process program whose communication pattern differs across runs \
+                 at 100% non-determinism (hint: MPI_ANY_SOURCE).",
+    },
+    Exercise {
+        id: "make-it-deterministic",
+        level: Level::Intermediate,
+        prompt: "Ranks 1..3 must each deliver one message to rank 0, but every run at 100% \
+                 non-determinism must produce the identical communication pattern (hint: \
+                 name your sources).",
+    },
+    Exercise {
+        id: "fix-the-deadlock",
+        level: Level::Advanced,
+        prompt: "Two ranks must exchange one synchronous-capable message each without \
+                 deadlocking, even though ssend blocks until matched (hint: MPI_Sendrecv, \
+                 or order the calls).",
+    },
+    Exercise {
+        id: "bound-the-race",
+        level: Level::Advanced,
+        prompt: "Rank 0 must receive from all of ranks 1..3 with wildcard receives, yet the \
+                 kernel distance across runs must stay zero (hint: tags can impose order \
+                 even when sources are wildcarded).",
+    },
+];
+
+/// Look up an exercise by id.
+pub fn by_id(id: &str) -> Option<&'static Exercise> {
+    EXERCISES.iter().find(|e| e.id == id)
+}
+
+fn wl_fingerprints(program: &Program, seeds: std::ops::Range<u64>) -> Result<Vec<u64>, String> {
+    let k = WlKernel::default();
+    let mut prints = Vec::new();
+    for seed in seeds {
+        let t = simulate(program, &SimConfig::with_nd_percent(100.0, seed))
+            .map_err(|e| format!("run failed: {e}"))?;
+        if t.meta.unmatched_messages > 0 {
+            return Err(format!(
+                "{} message(s) were never received",
+                t.meta.unmatched_messages
+            ));
+        }
+        let g = EventGraph::from_trace(&t);
+        // Hash the feature vector to a fingerprint.
+        let f = k.features(&g);
+        let mut items: Vec<(u64, u64)> = f.iter().map(|(id, w)| (id, w as u64)).collect();
+        items.sort_unstable();
+        let words: Vec<u64> = items.iter().flat_map(|&(a, b)| [a, b]).collect();
+        prints.push(anacin_event_graph::label::fnv1a_words(&words));
+    }
+    Ok(prints)
+}
+
+/// Check "write-a-race": at least two distinct communication patterns
+/// over 20 seeds.
+pub fn check_write_a_race(program: &Program) -> Result<(), String> {
+    if program.world_size() != 4 {
+        return Err(format!(
+            "program must use 4 processes, found {}",
+            program.world_size()
+        ));
+    }
+    let prints = wl_fingerprints(program, 0..20)?;
+    let distinct: std::collections::HashSet<_> = prints.iter().collect();
+    if distinct.len() < 2 {
+        return Err("all 20 runs produced the identical communication pattern — \
+                    no race present"
+            .to_string());
+    }
+    Ok(())
+}
+
+/// Reference solution for "write-a-race".
+pub fn solve_write_a_race() -> Program {
+    let mut b = ProgramBuilder::new(4);
+    for r in 1..4 {
+        b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+    }
+    for _ in 1..4 {
+        b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+    }
+    b.build()
+}
+
+/// Check "make-it-deterministic": 3 messages into rank 0 and identical
+/// runs across seeds at 100% ND.
+pub fn check_make_it_deterministic(program: &Program) -> Result<(), String> {
+    if program.total_sends() != 3 {
+        return Err(format!(
+            "expected exactly 3 messages, found {}",
+            program.total_sends()
+        ));
+    }
+    let prints = wl_fingerprints(program, 0..15)?;
+    let distinct: std::collections::HashSet<_> = prints.iter().collect();
+    if distinct.len() != 1 {
+        return Err(format!(
+            "runs still differ ({} distinct patterns over 15 seeds)",
+            distinct.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Reference solution for "make-it-deterministic": name the sources.
+pub fn solve_make_it_deterministic() -> Program {
+    let mut b = ProgramBuilder::new(4);
+    for r in 1..4 {
+        b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+    }
+    for r in 1..4 {
+        b.rank(Rank(0)).recv(Rank(r), Tag(0).into());
+    }
+    b.build()
+}
+
+/// Check "fix-the-deadlock": a 2-rank program exchanging ≥1 message each
+/// way that completes.
+pub fn check_fix_the_deadlock(program: &Program) -> Result<(), String> {
+    if program.world_size() != 2 {
+        return Err("program must use exactly 2 processes".to_string());
+    }
+    if program.total_sends() < 2 {
+        return Err("each rank must send at least one message".to_string());
+    }
+    match simulate(program, &SimConfig::with_nd_percent(100.0, 1)) {
+        Ok(t) if t.meta.unmatched_messages == 0 => Ok(()),
+        Ok(t) => Err(format!("{} unmatched message(s)", t.meta.unmatched_messages)),
+        Err(SimError::Deadlock(r)) => Err(format!("still deadlocks: {r}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Reference solution for "fix-the-deadlock": the sendrecv idiom.
+pub fn solve_fix_the_deadlock() -> Program {
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).sendrecv(Rank(1), Rank(1), Tag(0), 8);
+    b.rank(Rank(1)).sendrecv(Rank(0), Rank(0), Tag(0), 8);
+    b.build()
+}
+
+/// The intentionally broken starting point for "fix-the-deadlock".
+pub fn broken_fix_the_deadlock() -> Program {
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8).recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1)).ssend(Rank(0), Tag(0), 8).recv(Rank(0), Tag(0).into());
+    b.build()
+}
+
+/// Check "bound-the-race": wildcard sources, yet zero kernel distance.
+pub fn check_bound_the_race(program: &Program) -> Result<(), String> {
+    let uses_wildcard = (0..program.world_size()).any(|r| {
+        program
+            .ops(Rank(r))
+            .iter()
+            .any(|op| op.is_wildcard_receive())
+    });
+    if !uses_wildcard {
+        return Err("the receives must keep MPI_ANY_SOURCE".to_string());
+    }
+    if program.total_sends() != 3 {
+        return Err(format!(
+            "expected exactly 3 messages, found {}",
+            program.total_sends()
+        ));
+    }
+    let prints = wl_fingerprints(program, 0..15)?;
+    let distinct: std::collections::HashSet<_> = prints.iter().collect();
+    if distinct.len() != 1 {
+        return Err(format!(
+            "runs still differ ({} distinct patterns over 15 seeds)",
+            distinct.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Reference solution for "bound-the-race": distinct tags serialise the
+/// wildcard receives (tag matching imposes the order sources cannot).
+pub fn solve_bound_the_race() -> Program {
+    let mut b = ProgramBuilder::new(4);
+    for r in 1..4u32 {
+        b.rank(Rank(r)).send(Rank(0), Tag(r as i32), 1);
+    }
+    for r in 1..4i32 {
+        b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(r)));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_lookup() {
+        assert_eq!(EXERCISES.len(), 4);
+        assert!(by_id("write-a-race").is_some());
+        assert!(by_id("nope").is_none());
+        for e in &EXERCISES {
+            assert!(!e.prompt.is_empty());
+        }
+    }
+
+    #[test]
+    fn reference_solutions_pass() {
+        check_write_a_race(&solve_write_a_race()).unwrap();
+        check_make_it_deterministic(&solve_make_it_deterministic()).unwrap();
+        check_fix_the_deadlock(&solve_fix_the_deadlock()).unwrap();
+        check_bound_the_race(&solve_bound_the_race()).unwrap();
+    }
+
+    #[test]
+    fn wrong_solutions_fail_with_helpful_messages() {
+        // A deterministic program is not a race.
+        let err = check_write_a_race(&solve_make_it_deterministic()).unwrap_err();
+        assert!(err.contains("identical communication pattern"), "{err}");
+        // A racy program is not deterministic.
+        let err = check_make_it_deterministic(&solve_write_a_race()).unwrap_err();
+        assert!(err.contains("runs still differ"), "{err}");
+        // The broken exchange still deadlocks.
+        let err = check_fix_the_deadlock(&broken_fix_the_deadlock()).unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+        // Dropping the wildcards fails the bounded-race exercise.
+        let err = check_bound_the_race(&solve_make_it_deterministic()).unwrap_err();
+        assert!(err.contains("MPI_ANY_SOURCE"), "{err}");
+        // And a plain race fails it too (still non-deterministic).
+        let err = check_bound_the_race(&solve_write_a_race()).unwrap_err();
+        assert!(err.contains("runs still differ"), "{err}");
+    }
+
+    #[test]
+    fn world_size_checks() {
+        let mut b = ProgramBuilder::new(3);
+        b.rank(Rank(1)).send(Rank(0), Tag(0), 1);
+        b.rank(Rank(0)).recv_any(TagSpec::Any);
+        let p = b.build();
+        assert!(check_write_a_race(&p).unwrap_err().contains("4 processes"));
+        assert!(check_fix_the_deadlock(&p)
+            .unwrap_err()
+            .contains("2 processes"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The course structure: levels and learning objectives (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three levels of complexity of the course module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Level A.
+    Beginner,
+    /// Level B.
+    Intermediate,
+    /// Level C.
+    Advanced,
+}
+
+impl Level {
+    /// All levels in order.
+    pub const ALL: [Level; 3] = [Level::Beginner, Level::Intermediate, Level::Advanced];
+
+    /// The paper's letter code (A/B/C).
+    pub fn code(&self) -> char {
+        match self {
+            Level::Beginner => 'A',
+            Level::Intermediate => 'B',
+            Level::Advanced => 'C',
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Beginner => "Beginner",
+            Level::Intermediate => "Intermediate",
+            Level::Advanced => "Advanced",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}. {} level", self.code(), self.name())
+    }
+}
+
+/// One learning objective.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Goal {
+    /// The paper's goal id, e.g. "A.1".
+    pub id: &'static str,
+    /// The level the goal belongs to.
+    pub level: Level,
+    /// The objective text (paper Table I).
+    pub text: &'static str,
+}
+
+/// Table I: the learning objectives for each level of difficulty.
+pub const GOALS: [Goal; 6] = [
+    Goal {
+        id: "A.1",
+        level: Level::Beginner,
+        text: "Introduce parallelism using the message passing paradigm",
+    },
+    Goal {
+        id: "A.2",
+        level: Level::Beginner,
+        text: "Define non-determinism associated to message passing",
+    },
+    Goal {
+        id: "B.1",
+        level: Level::Intermediate,
+        text: "Study effects of number of processes on non-determinism in applications",
+    },
+    Goal {
+        id: "B.2",
+        level: Level::Intermediate,
+        text: "Study non-determinism across multiple iterations of the same code during the \
+               same application execution",
+    },
+    Goal {
+        id: "C.1",
+        level: Level::Advanced,
+        text: "Quantify the level of non-determinism in application's executions",
+    },
+    Goal {
+        id: "C.2",
+        level: Level::Advanced,
+        text: "Identify root sources of non-determinism in applications",
+    },
+];
+
+/// The goals of one level, in order.
+pub fn goals_of(level: Level) -> Vec<&'static Goal> {
+    GOALS.iter().filter(|g| g.level == level).collect()
+}
+
+/// Render Table I as aligned text rows (one row per level).
+pub fn table_i() -> String {
+    let mut s = String::from("Table I: learning objectives per level\n");
+    for level in Level::ALL {
+        s.push_str(&format!("{level}\n"));
+        for g in goals_of(level) {
+            s.push_str(&format!("  Goal {}: {}\n", g.id, g.text));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_goals_two_per_level() {
+        assert_eq!(GOALS.len(), 6);
+        for level in Level::ALL {
+            assert_eq!(goals_of(level).len(), 2, "{level}");
+        }
+    }
+
+    #[test]
+    fn goal_ids_match_level_codes() {
+        for g in &GOALS {
+            assert!(g.id.starts_with(g.level.code()));
+        }
+    }
+
+    #[test]
+    fn table_renders_every_goal() {
+        let t = table_i();
+        for g in &GOALS {
+            assert!(t.contains(g.id), "missing {}", g.id);
+        }
+        assert!(t.contains("A. Beginner level"));
+        assert!(t.contains("C. Advanced level"));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Level::Beginner.to_string(), "A. Beginner level");
+        assert_eq!(Level::Advanced.code(), 'C');
+    }
+}

@@ -1,0 +1,52 @@
+//! # anacin-course
+//!
+//! The research-based course module itself — the paper's deliverable —
+//! encoded as data and executable lessons:
+//!
+//! * [`levels`] — the three levels and their learning objectives
+//!   (paper Table I);
+//! * [`prereqs`] — prerequisite knowledge per level (paper Table II);
+//! * [`lessons`] — Use Cases 1–3 as *executable* lessons: each runs the
+//!   real pipeline and machine-checks the observation students are asked
+//!   to make (runs differ at 100% ND; more processes/iterations ⇒ more
+//!   ND; the ND% knob is monotone; racy receives top the callstack
+//!   ranking);
+//! * [`quiz`] — the comprehension questions each use case opens with,
+//!   with reference answers.
+//!
+//! ```
+//! use anacin_course::prelude::*;
+//!
+//! // Table I is data, not prose:
+//! assert_eq!(goals_of(Level::Advanced).len(), 2);
+//! // And the lessons actually run (scaled down here for speed):
+//! let cfg = LessonConfig { procs_small: 4, procs_large: 8, runs: 5, threads: 2 };
+//! let report = use_case_1(&cfg);
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exercises;
+pub mod lessons;
+pub mod levels;
+pub mod prereqs;
+pub mod quiz;
+pub mod related_work;
+pub mod tutorial;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::exercises::{by_id as exercise_by_id, Exercise, EXERCISES};
+    pub use crate::lessons::{
+        run_all, use_case_1, use_case_2, use_case_3, use_case_4, Check, LessonConfig, LessonReport,
+    };
+    pub use crate::levels::{goals_of, table_i, Goal, Level, GOALS};
+    pub use crate::prereqs::{prereqs_of, table_ii, Prerequisite, PREREQUISITES};
+    pub use crate::quiz::{questions_of, Question, QUESTIONS};
+    pub use crate::related_work::{comparison, Tool, TOOLS};
+    pub use crate::tutorial::{agenda, total_minutes, Session, HALF_DAY};
+}
+
+pub use lessons::{LessonConfig, LessonReport};
+pub use levels::Level;

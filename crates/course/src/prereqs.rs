@@ -1,0 +1,80 @@
+//! Prerequisite knowledge per level (paper Table II).
+
+use crate::levels::Level;
+
+/// One prerequisite item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prerequisite {
+    /// The level it applies to.
+    pub level: Level,
+    /// The prerequisite text (paper Table II).
+    pub text: &'static str,
+}
+
+/// Table II: the prerequisite knowledge for each level of difficulty.
+pub const PREREQUISITES: [Prerequisite; 6] = [
+    Prerequisite {
+        level: Level::Beginner,
+        text: "A basic knowledge of MPI, in particular point-to-point MPI communication calls.",
+    },
+    Prerequisite {
+        level: Level::Beginner,
+        text: "A basic knowledge of graph theory, but not necessarily an in-depth understanding.",
+    },
+    Prerequisite {
+        level: Level::Intermediate,
+        text: "An understanding of non-determinism from the topics described by the beginner \
+               level.",
+    },
+    Prerequisite {
+        level: Level::Intermediate,
+        text: "The ability to interpret violin plots.",
+    },
+    Prerequisite {
+        level: Level::Advanced,
+        text: "An understanding of what external factors impact the amount of non-determinism \
+               in an application from the intermediate level.",
+    },
+    Prerequisite {
+        level: Level::Advanced,
+        text: "The ability to understand C++ source code to identify functions causing \
+               non-determinism.",
+    },
+];
+
+/// The prerequisites of one level, in order.
+pub fn prereqs_of(level: Level) -> Vec<&'static Prerequisite> {
+    PREREQUISITES.iter().filter(|p| p.level == level).collect()
+}
+
+/// Render Table II as aligned text rows.
+pub fn table_ii() -> String {
+    let mut s = String::from("Table II: prerequisite knowledge per level\n");
+    for level in Level::ALL {
+        s.push_str(&format!("{level}\n"));
+        for p in prereqs_of(level) {
+            s.push_str(&format!("  - {}\n", p.text));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_prereqs_per_level() {
+        for level in Level::ALL {
+            assert_eq!(prereqs_of(level).len(), 2, "{level}");
+        }
+    }
+
+    #[test]
+    fn table_mentions_key_topics() {
+        let t = table_ii();
+        assert!(t.contains("point-to-point MPI"));
+        assert!(t.contains("violin plots"));
+        assert!(t.contains("C++ source code"));
+    }
+}

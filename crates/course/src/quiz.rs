@@ -1,0 +1,98 @@
+//! Comprehension questions per level, with reference answers.
+//!
+//! These are the questions the paper poses at the start of each use case;
+//! the CLI's `course` subcommand prints them (optionally with answers) so
+//! instructors can use them directly in a tutorial.
+
+use crate::levels::Level;
+
+/// One comprehension question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// The level the question belongs to.
+    pub level: Level,
+    /// The goal it supports (e.g. "A.1").
+    pub goal: &'static str,
+    /// The question text.
+    pub prompt: &'static str,
+    /// A reference answer.
+    pub answer: &'static str,
+}
+
+/// The question bank (paper §III, the per-use-case question lists).
+pub const QUESTIONS: [Question; 6] = [
+    Question {
+        level: Level::Beginner,
+        goal: "A.1",
+        prompt: "What is message passing in the context of an execution?",
+        answer: "Processes cooperate by exchanging explicit messages: any process can send a \
+                 message to another process, and processes can exchange messages using \
+                 different communication patterns.",
+    },
+    Question {
+        level: Level::Beginner,
+        goal: "A.2",
+        prompt: "What is non-determinism in the context of an execution?",
+        answer: "Multiple executions of the same code, run in the same way with the same \
+                 inputs, produce different communication patterns — e.g. messages from \
+                 different senders arrive at a wildcard receive in different orders.",
+    },
+    Question {
+        level: Level::Intermediate,
+        goal: "B.1",
+        prompt: "What is the effect of increasing the number of MPI processes used during \
+                 execution?",
+        answer: "The amount of non-determinism increases: more processes means more racing \
+                 messages, so the kernel distance between runs grows.",
+    },
+    Question {
+        level: Level::Intermediate,
+        goal: "B.2",
+        prompt: "What is the effect of increasing the number of communication pattern \
+                 iterations?",
+        answer: "Non-determinism accumulates across iterations within one execution, so more \
+                 iterations yield larger kernel distances between runs.",
+    },
+    Question {
+        level: Level::Advanced,
+        goal: "C.1",
+        prompt: "How do root sources of non-determinism impact the amount of non-determinism?",
+        answer: "The percentage of messages subject to delay at the root sources directly \
+                 controls the measured amount: sweeping it from 0% to 100% monotonically \
+                 increases the kernel distance.",
+    },
+    Question {
+        level: Level::Advanced,
+        goal: "C.2",
+        prompt: "How can the toolkit be used to identify root sources of non-determinism?",
+        answer: "Slice the event graphs along logical time, find the windows where runs \
+                 disagree most, and rank the call paths of receives in those windows — the \
+                 wildcard-receive call paths that top the ranking are the likely root sources.",
+    },
+];
+
+/// Questions of one level.
+pub fn questions_of(level: Level) -> Vec<&'static Question> {
+    QUESTIONS.iter().filter(|q| q.level == level).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_questions_per_level() {
+        for level in Level::ALL {
+            assert_eq!(questions_of(level).len(), 2);
+        }
+    }
+
+    #[test]
+    fn goals_align_with_levels() {
+        for q in &QUESTIONS {
+            assert!(q.goal.starts_with(q.level.code()));
+            assert!(!q.prompt.is_empty());
+            assert!(!q.answer.is_empty());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The related-work landscape (paper §IV), encoded as data.
+//!
+//! Students finishing the advanced level should know *which tool to reach
+//! for*: record/replay suppresses non-determinism, crash miners need a
+//! crash, motif learners need motifs, ANACIN-X measures and localises.
+//! The CLI prints this table; the `capability` flags let course material
+//! quiz students on tool selection.
+
+use serde::Serialize;
+use std::fmt;
+
+/// What a tool in this space can do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Capabilities {
+    /// Measures *how much* non-determinism an execution exhibits.
+    pub measures_amount: bool,
+    /// Localises root sources in the code.
+    pub finds_root_sources: bool,
+    /// Temporarily suppresses non-determinism (reproducibility aid).
+    pub suppresses_nd: bool,
+    /// Works when the bug does not crash the application.
+    pub works_without_crash: bool,
+    /// Visualises communication structure.
+    pub visualises: bool,
+}
+
+/// One tool in the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Tool {
+    /// Tool name.
+    pub name: &'static str,
+    /// One-line description (paper §IV).
+    pub approach: &'static str,
+    /// What it can do.
+    pub capabilities: Capabilities,
+    /// Where this repository implements or models the idea, if it does.
+    pub in_this_repo: Option<&'static str>,
+}
+
+/// The comparison table of paper §IV.
+pub const TOOLS: [Tool; 4] = [
+    Tool {
+        name: "ANACIN-X",
+        approach: "event graphs + kernel distances to measure non-determinism and rank \
+                   root-source call paths",
+        capabilities: Capabilities {
+            measures_amount: true,
+            finds_root_sources: true,
+            suppresses_nd: false,
+            works_without_crash: true,
+            visualises: true,
+        },
+        in_this_repo: Some("the whole toolkit (anacin-core et al.)"),
+    },
+    Tool {
+        name: "ReMPI",
+        approach: "record-and-replay of message matching; suppresses non-determinism to \
+                   temporarily improve reproducibility",
+        capabilities: Capabilities {
+            measures_amount: false,
+            finds_root_sources: false,
+            suppresses_nd: true,
+            works_without_crash: true,
+            visualises: false,
+        },
+        in_this_repo: Some("anacin_mpisim::replay (`anacin record` / `anacin replay`)"),
+    },
+    Tool {
+        name: "PopMine",
+        approach: "graph mining over executions to expose bug-triggering conditions behind \
+                   software crashes",
+        capabilities: Capabilities {
+            measures_amount: false,
+            finds_root_sources: true,
+            suppresses_nd: false,
+            works_without_crash: false,
+            visualises: false,
+        },
+        in_this_repo: None,
+    },
+    Tool {
+        name: "SABALAN",
+        approach: "learns hierarchical communication-motif models from execution traces",
+        capabilities: Capabilities {
+            measures_amount: false,
+            finds_root_sources: true,
+            suppresses_nd: false,
+            works_without_crash: true,
+            visualises: false,
+        },
+        in_this_repo: None,
+    },
+];
+
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.capabilities;
+        let tick = |b: bool| if b { "yes" } else { "no" };
+        writeln!(f, "{}: {}", self.name, self.approach)?;
+        writeln!(
+            f,
+            "    measures amount: {:>3} | root sources: {:>3} | suppresses ND: {:>3} | \
+             no-crash bugs: {:>3} | visualises: {:>3}",
+            tick(c.measures_amount),
+            tick(c.finds_root_sources),
+            tick(c.suppresses_nd),
+            tick(c.works_without_crash),
+            tick(c.visualises)
+        )?;
+        if let Some(w) = self.in_this_repo {
+            writeln!(f, "    in this repo: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render the whole comparison.
+pub fn comparison() -> String {
+    let mut s = String::from("Related work (paper §IV): tools for non-determinism\n\n");
+    for t in &TOOLS {
+        s.push_str(&t.to_string());
+        s.push('\n');
+    }
+    s.push_str(
+        "ANACIN-X is used in this course because it evaluates root sources in\n\
+         non-crashing applications without being limited to motifs, and because it\n\
+         visualises multiple aspects of non-determinism (paper §IV).\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_tools_with_anacin_first() {
+        assert_eq!(TOOLS.len(), 4);
+        assert_eq!(TOOLS[0].name, "ANACIN-X");
+    }
+
+    #[test]
+    fn capability_matrix_matches_the_papers_argument() {
+        let by_name = |n: &str| TOOLS.iter().find(|t| t.name == n).unwrap();
+        // The paper's §IV claims, verbatim as capability bits:
+        let rempi = by_name("ReMPI");
+        assert!(rempi.capabilities.suppresses_nd);
+        assert!(!rempi.capabilities.measures_amount);
+        let popmine = by_name("PopMine");
+        assert!(
+            !popmine.capabilities.works_without_crash,
+            "PopMine is ineffective when the bug does not crash (paper §IV)"
+        );
+        let anacin = by_name("ANACIN-X");
+        assert!(anacin.capabilities.works_without_crash);
+        assert!(anacin.capabilities.measures_amount);
+        assert!(anacin.capabilities.visualises);
+    }
+
+    #[test]
+    fn replay_claim_is_implemented_here() {
+        let rempi = TOOLS.iter().find(|t| t.name == "ReMPI").unwrap();
+        assert!(rempi.in_this_repo.unwrap().contains("replay"));
+    }
+
+    #[test]
+    fn comparison_renders() {
+        let c = comparison();
+        for t in &TOOLS {
+            assert!(c.contains(t.name));
+        }
+        assert!(c.contains("suppresses ND"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The half-day tutorial plan.
+//!
+//! The paper positions the module as usable "as part of a parallel
+//! computing course or as a half-day tutorial" (§V). This module encodes
+//! a runnable tutorial agenda: timed sessions, each tied to a level, its
+//! goals, the commands the audience runs, and the observation they should
+//! walk away with. `anacin course` prints it; instructors can re-time it.
+
+use crate::levels::Level;
+use serde::Serialize;
+use std::fmt;
+
+/// One timed tutorial session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Session {
+    /// Session title.
+    pub title: &'static str,
+    /// Level the session teaches.
+    pub level: Level,
+    /// Goals covered (paper Table I ids).
+    pub goals: &'static [&'static str],
+    /// Duration in minutes.
+    pub minutes: u32,
+    /// Hands-on commands the audience runs.
+    pub commands: &'static [&'static str],
+    /// The observation the session must land.
+    pub takeaway: &'static str,
+}
+
+/// The default half-day (≈ 3.5 h) agenda.
+pub const HALF_DAY: [Session; 6] = [
+    Session {
+        title: "Message passing and event graphs",
+        level: Level::Beginner,
+        goals: &["A.1"],
+        minutes: 40,
+        commands: &[
+            "anacin graph --pattern race --procs 4",
+            "anacin graph --pattern amg2013 --procs 2 --format svg --out fig3.svg",
+            "anacin inspect --pattern mesh --procs 8",
+        ],
+        takeaway: "an execution is a graph: MPI calls are nodes, program order and \
+                   messages are edges",
+    },
+    Session {
+        title: "Seeing non-determinism",
+        level: Level::Beginner,
+        goals: &["A.2"],
+        minutes: 30,
+        commands: &[
+            "anacin graph --pattern race --procs 4 --nd 100 --seed 1",
+            "anacin graph --pattern race --procs 4 --nd 100 --seed 3",
+            "anacin diff --pattern race --procs 4 --seed-a 1 --seed-b 3",
+        ],
+        takeaway: "same code, same input, different message orders — that is \
+                   communication non-determinism",
+    },
+    Session {
+        title: "Measuring it: kernel distances",
+        level: Level::Intermediate,
+        goals: &["B.1"],
+        minutes: 35,
+        commands: &[
+            "anacin distance --pattern race --procs 8",
+            "anacin run --pattern mesh --procs 16 --runs 20",
+            "anacin run --pattern mesh --procs 32 --runs 20",
+        ],
+        takeaway: "the kernel distance between event graphs is a scalar proxy for \
+                   non-determinism; more processes ⇒ larger distances",
+    },
+    Session {
+        title: "What makes it worse",
+        level: Level::Intermediate,
+        goals: &["B.2"],
+        minutes: 30,
+        commands: &[
+            "anacin sweep --kind iterations --pattern mesh --procs 16 --runs 10",
+            "anacin reduction --procs 16 --runs 20",
+        ],
+        takeaway: "iterations accumulate non-determinism, and arrival-order \
+                   reductions turn it into different numerical results",
+    },
+    Session {
+        title: "Controlling the knob",
+        level: Level::Advanced,
+        goals: &["C.1"],
+        minutes: 35,
+        commands: &[
+            "anacin sweep --kind nd --pattern amg2013 --procs 16 --runs 10",
+            "anacin figure 7",
+        ],
+        takeaway: "the fraction of delay-prone messages directly controls the \
+                   measured amount of non-determinism (monotone trend)",
+    },
+    Session {
+        title: "Finding the root source",
+        level: Level::Advanced,
+        goals: &["C.2"],
+        minutes: 40,
+        commands: &[
+            "anacin root-cause --pattern amg2013 --procs 16 --runs 10",
+            "anacin exercise fix-the-deadlock --solve",
+            "anacin replay --pattern mesh --procs 8",
+        ],
+        takeaway: "slice the event graphs, rank call paths in divergent windows — \
+                   the wildcard receives are the root sources; replay pins them",
+    },
+];
+
+/// Total scheduled minutes.
+pub fn total_minutes() -> u32 {
+    HALF_DAY.iter().map(|s| s.minutes).sum()
+}
+
+impl fmt::Display for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{} min, level {}, goals {}]",
+            self.title,
+            self.minutes,
+            self.level.code(),
+            self.goals.join(", ")
+        )?;
+        for c in self.commands {
+            writeln!(f, "    $ {c}")?;
+        }
+        writeln!(f, "    ⇒ {}", self.takeaway)
+    }
+}
+
+/// Render the whole agenda.
+pub fn agenda() -> String {
+    let mut s = format!(
+        "Half-day tutorial agenda ({} sessions, {} minutes + breaks)\n\n",
+        HALF_DAY.len(),
+        total_minutes()
+    );
+    for (i, session) in HALF_DAY.iter().enumerate() {
+        s.push_str(&format!("{}. {session}\n", i + 1));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::goals_of;
+
+    #[test]
+    fn fits_a_half_day() {
+        let t = total_minutes();
+        assert!((180..=240).contains(&t), "total {t} minutes");
+    }
+
+    #[test]
+    fn covers_every_goal() {
+        let covered: std::collections::HashSet<&str> = HALF_DAY
+            .iter()
+            .flat_map(|s| s.goals.iter().copied())
+            .collect();
+        for level in Level::ALL {
+            for g in goals_of(level) {
+                assert!(covered.contains(g.id), "goal {} uncovered", g.id);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_appear_in_order() {
+        let order: Vec<char> = HALF_DAY.iter().map(|s| s.level.code()).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "sessions must progress A → B → C");
+    }
+
+    #[test]
+    fn agenda_renders_commands() {
+        let a = agenda();
+        assert!(a.contains("anacin root-cause"));
+        assert!(a.contains("⇒"));
+        assert!(a.contains("Half-day tutorial agenda"));
+    }
+
+    #[test]
+    fn every_session_has_commands_and_takeaway() {
+        for s in &HALF_DAY {
+            assert!(!s.commands.is_empty());
+            assert!(!s.takeaway.is_empty());
+            assert!(s.minutes >= 20);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Causal-chain explanation: *why* does one event happen before another?
+//!
+//! `explain(g, a, b)` returns a concrete happens-before chain from `a` to
+//! `b` — the alternation of program steps and messages that carries the
+//! causality. The debugging question it answers is the one students ask
+//! in Use Case 3: "this receive completed late; show me the chain of
+//! messages that forced it".
+
+use crate::graph::{EdgeKind, EventGraph, NodeId};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One hop in a causal chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Edge origin.
+    pub from: NodeId,
+    /// Edge target.
+    pub to: NodeId,
+    /// Program-order step or message.
+    pub kind: EdgeKind,
+}
+
+/// A causal chain from one event to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalChain {
+    /// The hops, in order from source to target.
+    pub hops: Vec<Hop>,
+}
+
+impl CausalChain {
+    /// Number of message edges in the chain (the "communication depth" of
+    /// the dependency).
+    pub fn message_hops(&self) -> usize {
+        self.hops
+            .iter()
+            .filter(|h| h.kind == EdgeKind::Message)
+            .count()
+    }
+
+    /// Render the chain as readable lines.
+    pub fn render(&self, g: &EventGraph) -> String {
+        let mut s = String::new();
+        if self.hops.is_empty() {
+            return "the two events are the same\n".to_string();
+        }
+        let first = self.hops[0].from;
+        let n = g.node(first);
+        let _ = writeln!(
+            s,
+            "start: rank {} event #{} ({})",
+            n.rank.0,
+            n.rank_idx,
+            n.kind.mnemonic()
+        );
+        for h in &self.hops {
+            let to = g.node(h.to);
+            let verb = match h.kind {
+                EdgeKind::Program => "then, on the same rank",
+                EdgeKind::Message => "which sends a message received by",
+            };
+            let _ = writeln!(
+                s,
+                "  {verb}: rank {} event #{} ({})",
+                to.rank.0,
+                to.rank_idx,
+                to.kind.mnemonic()
+            );
+        }
+        s
+    }
+}
+
+/// Find the causal chain from `a` to `b` with the fewest hops (BFS over
+/// directed edges). Returns `None` when `b` does not causally depend on
+/// `a` — itself a useful answer: the two events are concurrent.
+pub fn explain(g: &EventGraph, a: NodeId, b: NodeId) -> Option<CausalChain> {
+    if a == b {
+        return Some(CausalChain { hops: Vec::new() });
+    }
+    let n = g.node_count();
+    let mut pred: Vec<Option<(NodeId, EdgeKind)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[a.index()] = true;
+    queue.push_back(a);
+    'search: while let Some(u) = queue.pop_front() {
+        for &(v, kind) in g.out_edges(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                pred[v.index()] = Some((u, kind));
+                if v == b {
+                    break 'search;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if !seen[b.index()] {
+        return None;
+    }
+    let mut hops = Vec::new();
+    let mut cur = b;
+    while cur != a {
+        let (p, kind) = pred[cur.index()].expect("path reconstructed");
+        hops.push(Hop {
+            from: p,
+            to: cur,
+            kind,
+        });
+        cur = p;
+    }
+    hops.reverse();
+    Some(CausalChain { hops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    fn relay_graph() -> EventGraph {
+        // 0 sends to 1, 1 relays to 2.
+        let mut b = ProgramBuilder::new(3);
+        b.rank(Rank(0)).send(Rank(1), Tag(0), 1);
+        b.rank(Rank(1)).recv(Rank(0), Tag(0).into()).send(Rank(2), Tag(1), 1);
+        b.rank(Rank(2)).recv(Rank(1), Tag(1).into());
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn chain_through_a_relay() {
+        let g = relay_graph();
+        let send0 = g.id_at(Rank(0), 1);
+        let recv2 = g.id_at(Rank(2), 1);
+        let chain = explain(&g, send0, recv2).expect("causally related");
+        assert_eq!(chain.message_hops(), 2, "{:?}", chain.hops);
+        let text = chain.render(&g);
+        assert!(text.contains("start: rank 0"));
+        assert!(text.contains("received by: rank 2"));
+        // Chain is connected and directed.
+        for w in chain.hops.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(chain.hops.first().unwrap().from, send0);
+        assert_eq!(chain.hops.last().unwrap().to, recv2);
+    }
+
+    #[test]
+    fn concurrent_events_have_no_chain() {
+        let g = relay_graph();
+        // rank 0's init and rank 2's init are concurrent.
+        assert!(explain(&g, g.id_at(Rank(0), 0), g.id_at(Rank(2), 0)).is_none());
+        // Reverse direction of a real dependency is also None.
+        assert!(explain(&g, g.id_at(Rank(2), 1), g.id_at(Rank(0), 1)).is_none());
+    }
+
+    #[test]
+    fn same_event_is_the_empty_chain() {
+        let g = relay_graph();
+        let id = g.id_at(Rank(1), 1);
+        let chain = explain(&g, id, id).unwrap();
+        assert!(chain.hops.is_empty());
+        assert!(chain.render(&g).contains("same"));
+    }
+
+    #[test]
+    fn bfs_finds_a_minimal_hop_chain() {
+        // On one rank, the chain along program order from init to
+        // finalize has exactly len-1 hops.
+        let mut b = ProgramBuilder::new(1);
+        b.rank(Rank(0)).compute(1).compute(1);
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        let g = EventGraph::from_trace(&t);
+        let chain = explain(&g, g.id_at(Rank(0), 0), g.id_at(Rank(0), 1)).unwrap();
+        assert_eq!(chain.hops.len(), 1);
+        assert_eq!(chain.message_hops(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Exporters: DOT (Graphviz), GraphML, and JSON.
+//!
+//! The Graphviz export mirrors the paper's figures: one horizontal row per
+//! rank, green start/end nodes, blue sends, red receives, solid program
+//! edges and dashed message edges.
+
+use crate::graph::{EdgeKind, EventGraph, NodeKind};
+use anacin_mpisim::types::Rank;
+use std::fmt::Write as _;
+
+fn node_color(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Init | NodeKind::Finalize => "green",
+        NodeKind::Send { .. } => "blue",
+        NodeKind::Recv { .. } => "red",
+    }
+}
+
+/// Render the graph as Graphviz DOT with one cluster per rank.
+pub fn to_dot(g: &EventGraph) -> String {
+    let mut s = String::new();
+    s.push_str("digraph event_graph {\n  rankdir=LR;\n  node [shape=circle, style=filled];\n");
+    for r in 0..g.world_size() {
+        let _ = writeln!(s, "  subgraph cluster_rank{r} {{");
+        let _ = writeln!(s, "    label=\"rank {r}\";");
+        for id in g.rank_nodes(Rank(r)) {
+            let n = g.node(id);
+            let _ = writeln!(
+                s,
+                "    n{} [label=\"{}\", fillcolor={}];",
+                id.0,
+                n.kind.mnemonic(),
+                node_color(&n.kind)
+            );
+        }
+        s.push_str("  }\n");
+    }
+    for (a, b, kind) in g.edges() {
+        let style = match kind {
+            EdgeKind::Program => "solid",
+            EdgeKind::Message => "dashed",
+        };
+        let _ = writeln!(s, "  n{} -> n{} [style={style}];", a.0, b.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render the graph as GraphML (node `kind`/`rank` attributes, edge
+/// `kind` attribute) — the interchange format GraKeL-style toolchains
+/// consume.
+pub fn to_graphml(g: &EventGraph) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+         <key id=\"kind\" for=\"node\" attr.name=\"kind\" attr.type=\"string\"/>\n\
+         <key id=\"rank\" for=\"node\" attr.name=\"rank\" attr.type=\"int\"/>\n\
+         <key id=\"ekind\" for=\"edge\" attr.name=\"kind\" attr.type=\"string\"/>\n\
+         <graph id=\"G\" edgedefault=\"directed\">\n",
+    );
+    for id in g.node_ids() {
+        let n = g.node(id);
+        let _ = writeln!(
+            s,
+            "<node id=\"n{}\"><data key=\"kind\">{}</data><data key=\"rank\">{}</data></node>",
+            id.0,
+            n.kind.mnemonic(),
+            n.rank.0
+        );
+    }
+    for (i, (a, b, kind)) in g.edges().enumerate() {
+        let k = match kind {
+            EdgeKind::Program => "program",
+            EdgeKind::Message => "message",
+        };
+        let _ = writeln!(
+            s,
+            "<edge id=\"e{i}\" source=\"n{}\" target=\"n{}\"><data key=\"ekind\">{k}</data></edge>",
+            a.0, b.0
+        );
+    }
+    s.push_str("</graph>\n</graphml>\n");
+    s
+}
+
+/// Serialize the graph as JSON (via serde).
+pub fn to_json(g: &EventGraph) -> serde_json::Result<String> {
+    serde_json::to_string(g)
+}
+
+/// Deserialize a graph from [`to_json`] output.
+pub fn from_json(s: &str) -> serde_json::Result<EventGraph> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EventGraph;
+    use anacin_mpisim::prelude::*;
+
+    fn graph() -> EventGraph {
+        let mut b = ProgramBuilder::new(3);
+        b.rank(Rank(1)).send(Rank(0), Tag(0), 1);
+        b.rank(Rank(2)).send(Rank(0), Tag(0), 1);
+        b.rank(Rank(0))
+            .recv_any(TagSpec::Tag(Tag(0)))
+            .recv_any(TagSpec::Tag(Tag(0)));
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn dot_contains_clusters_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for r in 0..3 {
+            assert!(dot.contains(&format!("cluster_rank{r}")));
+        }
+        assert!(dot.contains("fillcolor=blue"));
+        assert!(dot.contains("fillcolor=red"));
+        assert!(dot.contains("fillcolor=green"));
+        assert!(dot.contains("style=dashed"));
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    }
+
+    #[test]
+    fn graphml_is_well_formed_enough() {
+        let g = graph();
+        let xml = to_graphml(&g);
+        assert!(xml.contains("<graphml"));
+        assert!(xml.ends_with("</graphml>\n"));
+        assert_eq!(xml.matches("<node ").count(), g.node_count());
+        assert_eq!(xml.matches("<edge ").count(), g.edge_count());
+        assert_eq!(xml.matches("message").count(), g.message_edge_count());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let g = graph();
+        let s = to_json(&g).unwrap();
+        let g2 = from_json(&s).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.match_order(Rank(0)), g.match_order(Rank(0)));
+    }
+}

@@ -1,0 +1,361 @@
+//! The event-graph data structure.
+//!
+//! An *event graph* (paper §II-A) is a graph model of an execution's
+//! communication: nodes are MPI events, intra-process edges encode logical
+//! (program) order, and inter-process edges encode matched point-to-point
+//! messages. Event graphs encode time logically, so two runs of the same
+//! program produce structurally comparable graphs whose differences are
+//! exactly the communication differences between the runs.
+
+use anacin_mpisim::stack::CallStackId;
+use anacin_mpisim::trace::{EventId, EventKind, Trace};
+use anacin_mpisim::types::{Rank, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier within one [`EventGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The modelled event classes (the paper's node colours: green =
+/// start/end, blue = send, red = receive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Process start (`MPI_Init`).
+    Init,
+    /// Process end (`MPI_Finalize`).
+    Finalize,
+    /// Message injection.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+    },
+    /// Message receipt.
+    Recv {
+        /// Matched source rank.
+        src: Rank,
+        /// Whether the receive was posted with a wildcard.
+        wildcard: bool,
+    },
+}
+
+impl NodeKind {
+    /// Short mnemonic: "init" / "finalize" / "send" / "recv".
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            NodeKind::Init => "init",
+            NodeKind::Finalize => "finalize",
+            NodeKind::Send { .. } => "send",
+            NodeKind::Recv { .. } => "recv",
+        }
+    }
+
+    /// True for receive nodes.
+    pub fn is_recv(&self) -> bool {
+        matches!(self, NodeKind::Recv { .. })
+    }
+
+    /// True for send nodes.
+    pub fn is_send(&self) -> bool {
+        matches!(self, NodeKind::Send { .. })
+    }
+}
+
+/// One node of the event graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Rank the event occurred on.
+    pub rank: Rank,
+    /// Index of the event within its rank (program order).
+    pub rank_idx: u32,
+    /// Event class.
+    pub kind: NodeKind,
+    /// Simulated completion time.
+    pub time: SimTime,
+    /// Call path that issued the event.
+    pub stack: CallStackId,
+}
+
+/// Edge classes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum EdgeKind {
+    /// Logical precedence between consecutive events on one rank.
+    Program,
+    /// A matched point-to-point message (send → recv).
+    Message,
+}
+
+/// The event graph of one execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventGraph {
+    world_size: u32,
+    nodes: Vec<Node>,
+    /// `rank_base[r]` is the NodeId offset of rank r's first event.
+    rank_base: Vec<u32>,
+    out_edges: Vec<Vec<(NodeId, EdgeKind)>>,
+    in_edges: Vec<Vec<(NodeId, EdgeKind)>>,
+}
+
+impl EventGraph {
+    /// Build the event graph of a trace.
+    ///
+    /// Nodes are created for every traced event, rank-major, so node ids
+    /// are stable across runs of the same program: two runs differ only in
+    /// their *message edges* (and in which receives matched which sources),
+    /// which is precisely the communication non-determinism the kernel
+    /// distance measures.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let world = trace.world_size();
+        let mut nodes = Vec::with_capacity(trace.total_events());
+        let mut rank_base = Vec::with_capacity(world as usize);
+        for r in 0..world {
+            rank_base.push(nodes.len() as u32);
+            for (i, ev) in trace.rank_events(Rank(r)).iter().enumerate() {
+                let kind = match ev.kind {
+                    EventKind::Init => NodeKind::Init,
+                    EventKind::Finalize => NodeKind::Finalize,
+                    EventKind::Send { dst, .. } => NodeKind::Send { dst },
+                    EventKind::Recv { src, wildcard, .. } => NodeKind::Recv { src, wildcard },
+                };
+                nodes.push(Node {
+                    rank: Rank(r),
+                    rank_idx: i as u32,
+                    kind,
+                    time: ev.time,
+                    stack: ev.stack,
+                });
+            }
+        }
+        let n = nodes.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        let id_of = |eid: EventId| NodeId(rank_base[eid.rank.index()] + eid.idx);
+        // Program-order edges.
+        for r in 0..world {
+            let base = rank_base[r as usize];
+            let len = trace.rank_events(Rank(r)).len() as u32;
+            for i in 0..len.saturating_sub(1) {
+                let a = NodeId(base + i);
+                let b = NodeId(base + i + 1);
+                out_edges[a.index()].push((b, EdgeKind::Program));
+                in_edges[b.index()].push((a, EdgeKind::Program));
+            }
+        }
+        // Message edges.
+        for (id, ev) in trace.iter() {
+            if let EventKind::Recv { send_event, .. } = ev.kind {
+                let s = id_of(send_event);
+                let d = id_of(id);
+                out_edges[s.index()].push((d, EdgeKind::Message));
+                in_edges[d.index()].push((s, EdgeKind::Message));
+            }
+        }
+        EventGraph {
+            world_size: world,
+            nodes,
+            rank_base,
+            out_edges,
+            in_edges,
+        }
+    }
+
+    /// Number of ranks in the traced job.
+    pub fn world_size(&self) -> u32 {
+        self.world_size
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (program + message).
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Number of message edges.
+    pub fn message_edge_count(&self) -> usize {
+        self.out_edges
+            .iter()
+            .flatten()
+            .filter(|(_, k)| *k == EdgeKind::Message)
+            .count()
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexable by `NodeId::index`.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Iterate node ids `0..n`.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.out_edges[id.index()]
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.in_edges[id.index()]
+    }
+
+    /// All edges as `(from, to, kind)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeKind)> + '_ {
+        self.out_edges.iter().enumerate().flat_map(|(i, es)| {
+            es.iter().map(move |&(to, kind)| (NodeId(i as u32), to, kind))
+        })
+    }
+
+    /// The node id of rank `r`'s `i`-th event.
+    pub fn id_at(&self, rank: Rank, idx: u32) -> NodeId {
+        NodeId(self.rank_base[rank.index()] + idx)
+    }
+
+    /// Node ids of one rank, in program order.
+    pub fn rank_nodes(&self, rank: Rank) -> impl Iterator<Item = NodeId> + '_ {
+        let base = self.rank_base[rank.index()];
+        let end = self
+            .rank_base
+            .get(rank.index() + 1)
+            .copied()
+            .unwrap_or(self.nodes.len() as u32);
+        (base..end).map(NodeId)
+    }
+
+    /// The sequence of matched sources observed by `rank`'s receives — the
+    /// graph-side view of [`Trace::match_order`].
+    pub fn match_order(&self, rank: Rank) -> Vec<Rank> {
+        self.rank_nodes(rank)
+            .filter_map(|id| match self.node(id).kind {
+                NodeKind::Recv { src, .. } => Some(src),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    fn race_graph(n: u32, nd: f64, seed: u64) -> EventGraph {
+        let mut b = ProgramBuilder::new(n);
+        for r in 1..n {
+            b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+        }
+        for _ in 1..n {
+            b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+        let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn structure_of_message_race() {
+        let g = race_graph(4, 0.0, 0);
+        // rank 0: init + 3 recvs + finalize = 5; ranks 1..3: init+send+finalize = 3 each.
+        assert_eq!(g.node_count(), 5 + 3 * 3);
+        assert_eq!(g.world_size(), 4);
+        assert_eq!(g.message_edge_count(), 3);
+        // Program edges: (5-1) + 3*(3-1) = 10.
+        assert_eq!(g.edge_count(), 10 + 3);
+    }
+
+    #[test]
+    fn node_ids_stable_across_runs() {
+        let g1 = race_graph(6, 100.0, 1);
+        let g2 = race_graph(6, 100.0, 2);
+        assert_eq!(g1.node_count(), g2.node_count());
+        for (a, b) in g1.nodes().iter().zip(g2.nodes().iter()) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.rank_idx, b.rank_idx);
+            assert_eq!(a.kind.mnemonic(), b.kind.mnemonic());
+        }
+    }
+
+    #[test]
+    fn message_edges_reflect_matching() {
+        let g = race_graph(4, 0.0, 0);
+        for (from, to, kind) in g.edges() {
+            if kind == EdgeKind::Message {
+                assert!(g.node(from).kind.is_send());
+                match g.node(to).kind {
+                    NodeKind::Recv { src, .. } => assert_eq!(src, g.node(from).rank),
+                    ref k => panic!("message edge into {k:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_nodes_cover_graph() {
+        let g = race_graph(5, 0.0, 0);
+        let total: usize = (0..5).map(|r| g.rank_nodes(Rank(r)).count()).sum();
+        assert_eq!(total, g.node_count());
+        // Last rank's range ends at node_count.
+        let last: Vec<_> = g.rank_nodes(Rank(4)).collect();
+        assert_eq!(last.last().unwrap().index(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn match_order_matches_trace() {
+        let mut b = ProgramBuilder::new(4);
+        for r in 1..4 {
+            b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+        }
+        for _ in 1..4 {
+            b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+        let t = simulate(&b.build(), &SimConfig::with_nd_percent(100.0, 9)).unwrap();
+        let g = EventGraph::from_trace(&t);
+        assert_eq!(g.match_order(Rank(0)), t.match_order(Rank(0)));
+    }
+
+    #[test]
+    fn in_and_out_edges_are_consistent() {
+        let g = race_graph(6, 100.0, 3);
+        let mut out_pairs: Vec<_> = g.edges().collect();
+        let mut in_pairs: Vec<_> = g
+            .node_ids()
+            .flat_map(|to| {
+                g.in_edges(to)
+                    .iter()
+                    .map(move |&(from, kind)| (from, to, kind))
+            })
+            .collect();
+        out_pairs.sort();
+        in_pairs.sort();
+        assert_eq!(out_pairs, in_pairs);
+    }
+
+    #[test]
+    fn id_at_round_trips() {
+        let g = race_graph(4, 0.0, 0);
+        for id in g.node_ids() {
+            let n = g.node(id);
+            assert_eq!(g.id_at(n.rank, n.rank_idx), id);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Structural statistics of an event graph: node/edge composition, the
+//! rank-to-rank traffic matrix, and wildcard exposure — the quick
+//! profile an instructor shows before any kernel mathematics.
+
+use crate::graph::{EventGraph, NodeKind};
+use anacin_mpisim::types::Rank;
+use serde::{Deserialize, Serialize};
+
+/// A structural profile of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Ranks in the job.
+    pub world_size: u32,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Send events.
+    pub sends: usize,
+    /// Receive events.
+    pub recvs: usize,
+    /// Receives posted with a wildcard.
+    pub wildcard_recvs: usize,
+    /// Program-order edges.
+    pub program_edges: usize,
+    /// Message edges.
+    pub message_edges: usize,
+    /// `traffic[src][dst]` = messages matched from src to dst.
+    pub traffic: Vec<Vec<u64>>,
+}
+
+impl GraphStats {
+    /// Compute the profile of a graph.
+    pub fn of(g: &EventGraph) -> GraphStats {
+        let n = g.world_size() as usize;
+        let mut sends = 0;
+        let mut recvs = 0;
+        let mut wildcard_recvs = 0;
+        let mut traffic = vec![vec![0u64; n]; n];
+        for id in g.node_ids() {
+            match g.node(id).kind {
+                NodeKind::Send { .. } => sends += 1,
+                NodeKind::Recv { src, wildcard } => {
+                    recvs += 1;
+                    if wildcard {
+                        wildcard_recvs += 1;
+                    }
+                    traffic[src.index()][g.node(id).rank.index()] += 1;
+                }
+                _ => {}
+            }
+        }
+        let (program_edges, message_edges) = crate::algo::edge_kind_counts(g);
+        GraphStats {
+            world_size: g.world_size(),
+            nodes: g.node_count(),
+            sends,
+            recvs,
+            wildcard_recvs,
+            program_edges,
+            message_edges,
+            traffic,
+        }
+    }
+
+    /// Fraction of receives that are wildcards — the program's *race
+    /// exposure* (1.0 = every receive can race).
+    pub fn wildcard_fraction(&self) -> f64 {
+        if self.recvs == 0 {
+            0.0
+        } else {
+            self.wildcard_recvs as f64 / self.recvs as f64
+        }
+    }
+
+    /// Messages received by `rank` (column sum of the traffic matrix).
+    pub fn inbound(&self, rank: Rank) -> u64 {
+        self.traffic.iter().map(|row| row[rank.index()]).sum()
+    }
+
+    /// Messages sent by `rank` (row sum of the traffic matrix).
+    pub fn outbound(&self, rank: Rank) -> u64 {
+        self.traffic[rank.index()].iter().sum()
+    }
+
+    /// The busiest channel `(src, dst, messages)`.
+    pub fn hottest_channel(&self) -> Option<(Rank, Rank, u64)> {
+        let mut best = None;
+        for (s, row) in self.traffic.iter().enumerate() {
+            for (d, &m) in row.iter().enumerate() {
+                if m > 0 && best.map(|(_, _, bm)| m > bm).unwrap_or(true) {
+                    best = Some((Rank(s as u32), Rank(d as u32), m));
+                }
+            }
+        }
+        best
+    }
+
+    /// Render a compact text profile.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "ranks={} nodes={} sends={} recvs={} (wildcard {:.0}%) edges: {} program + {} message\n",
+            self.world_size,
+            self.nodes,
+            self.sends,
+            self.recvs,
+            self.wildcard_fraction() * 100.0,
+            self.program_edges,
+            self.message_edges
+        );
+        s.push_str("traffic (rows = sender, cols = receiver):\n");
+        s.push_str("     ");
+        for d in 0..self.world_size {
+            s.push_str(&format!("{d:>5}"));
+        }
+        s.push('\n');
+        for (r, row) in self.traffic.iter().enumerate() {
+            s.push_str(&format!("{r:>5}"));
+            for &m in row {
+                s.push_str(&format!("{m:>5}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    fn race_stats() -> GraphStats {
+        let mut b = ProgramBuilder::new(4);
+        for r in 1..4 {
+            b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+        }
+        for _ in 1..4 {
+            b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        GraphStats::of(&EventGraph::from_trace(&t))
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = race_stats();
+        assert_eq!(s.world_size, 4);
+        assert_eq!(s.sends, 3);
+        assert_eq!(s.recvs, 3);
+        assert_eq!(s.wildcard_recvs, 3);
+        assert_eq!(s.wildcard_fraction(), 1.0);
+        assert_eq!(s.message_edges, 3);
+        assert_eq!(s.nodes, 14);
+    }
+
+    #[test]
+    fn traffic_matrix_rows_and_columns() {
+        let s = race_stats();
+        assert_eq!(s.inbound(Rank(0)), 3);
+        assert_eq!(s.outbound(Rank(0)), 0);
+        for r in 1..4 {
+            assert_eq!(s.outbound(Rank(r)), 1);
+            assert_eq!(s.inbound(Rank(r)), 0);
+        }
+        let (_, dst, m) = s.hottest_channel().unwrap();
+        assert_eq!(dst, Rank(0));
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn render_contains_matrix() {
+        let s = race_stats();
+        let text = s.render();
+        assert!(text.contains("wildcard 100%"));
+        assert!(text.contains("traffic"));
+        assert_eq!(text.lines().count(), 2 + 1 + 4);
+    }
+
+    #[test]
+    fn no_communication_graph() {
+        let mut b = ProgramBuilder::new(2);
+        b.rank(Rank(0)).compute(5);
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        let s = GraphStats::of(&EventGraph::from_trace(&t));
+        assert_eq!(s.wildcard_fraction(), 0.0);
+        assert!(s.hottest_channel().is_none());
+        assert_eq!(s.message_edges, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Sparse feature vectors in the kernels' explicit feature spaces.
+//!
+//! Every kernel in this crate has an explicit feature map φ(G): a sparse
+//! vector indexed by stable 64-bit label hashes. The kernel value is then
+//! simply `k(G, H) = ⟨φ(G), φ(H)⟩`, which makes Gram-matrix computation
+//! embarrassingly parallel: features once per graph, dot products per pair.
+
+use std::collections::HashMap;
+
+/// A sparse feature vector keyed by stable 64-bit feature ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseFeatures {
+    map: HashMap<u64, f64>,
+}
+
+impl SparseFeatures {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `weight` to feature `id`.
+    pub fn add(&mut self, id: u64, weight: f64) {
+        *self.map.entry(id).or_insert(0.0) += weight;
+    }
+
+    /// Increment feature `id` by one.
+    pub fn bump(&mut self, id: u64) {
+        self.add(id, 1.0);
+    }
+
+    /// The weight of feature `id` (0 when absent).
+    pub fn get(&self, id: u64) -> f64 {
+        self.map.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Number of nonzero features.
+    pub fn nnz(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no feature is set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Inner product with another vector (iterates the smaller side).
+    pub fn dot(&self, other: &SparseFeatures) -> f64 {
+        let (small, large) = if self.map.len() <= other.map.len() {
+            (&self.map, &other.map)
+        } else {
+            (&other.map, &self.map)
+        };
+        small
+            .iter()
+            .map(|(id, w)| w * large.get(id).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Squared Euclidean norm, `⟨φ, φ⟩`.
+    pub fn norm_sq(&self) -> f64 {
+        self.map.values().map(|w| w * w).sum()
+    }
+
+    /// Accumulate another vector into this one.
+    pub fn merge(&mut self, other: &SparseFeatures) {
+        for (&id, &w) in &other.map {
+            self.add(id, w);
+        }
+    }
+
+    /// Scale every weight by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for w in self.map.values_mut() {
+            *w *= s;
+        }
+    }
+
+    /// Iterate `(id, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.map.iter().map(|(&id, &w)| (id, w))
+    }
+
+    /// L1 distance to another vector (used in tests/diagnostics).
+    pub fn l1_distance(&self, other: &SparseFeatures) -> f64 {
+        let mut ids: std::collections::HashSet<u64> = self.map.keys().copied().collect();
+        ids.extend(other.map.keys().copied());
+        ids.into_iter()
+            .map(|id| (self.get(id) - other.get(id)).abs())
+            .sum()
+    }
+}
+
+impl FromIterator<(u64, f64)> for SparseFeatures {
+    fn from_iter<T: IntoIterator<Item = (u64, f64)>>(iter: T) -> Self {
+        let mut f = SparseFeatures::new();
+        for (id, w) in iter {
+            f.add(id, w);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_basic() {
+        let a: SparseFeatures = [(1, 2.0), (2, 3.0)].into_iter().collect();
+        let b: SparseFeatures = [(2, 4.0), (3, 5.0)].into_iter().collect();
+        assert_eq!(a.dot(&b), 12.0);
+        assert_eq!(b.dot(&a), 12.0);
+        assert_eq!(a.norm_sq(), 13.0);
+        assert_eq!(a.dot(&a), a.norm_sq());
+    }
+
+    #[test]
+    fn bump_and_get() {
+        let mut f = SparseFeatures::new();
+        f.bump(7);
+        f.bump(7);
+        f.add(9, 0.5);
+        assert_eq!(f.get(7), 2.0);
+        assert_eq!(f.get(9), 0.5);
+        assert_eq!(f.get(10), 0.0);
+        assert_eq!(f.nnz(), 2);
+        assert!(!f.is_empty());
+        assert!(SparseFeatures::new().is_empty());
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a: SparseFeatures = [(1, 1.0)].into_iter().collect();
+        let b: SparseFeatures = [(1, 2.0), (2, 3.0)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.get(1), 3.0);
+        assert_eq!(a.get(2), 3.0);
+        a.scale(0.5);
+        assert_eq!(a.get(1), 1.5);
+    }
+
+    #[test]
+    fn l1_distance_symmetric_and_zero_on_equal() {
+        let a: SparseFeatures = [(1, 1.0), (2, 2.0)].into_iter().collect();
+        let b: SparseFeatures = [(2, 1.0), (3, 4.0)].into_iter().collect();
+        assert_eq!(a.l1_distance(&a), 0.0);
+        assert_eq!(a.l1_distance(&b), b.l1_distance(&a));
+        assert_eq!(a.l1_distance(&b), 1.0 + 1.0 + 4.0);
+    }
+
+    #[test]
+    fn dot_iterates_smaller_side_correctly() {
+        let big: SparseFeatures = (0..100).map(|i| (i, 1.0)).collect();
+        let small: SparseFeatures = [(5, 2.0), (200, 7.0)].into_iter().collect();
+        assert_eq!(big.dot(&small), 2.0);
+        assert_eq!(small.dot(&big), 2.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! The kernel abstraction.
+//!
+//! A *graph kernel* is an inner product in an implicit feature space
+//! (formally, in a Reproducing Kernel Hilbert Space — paper §II-A). All
+//! kernels implemented here have explicit feature maps, so the trait
+//! exposes `features()` and derives the kernel value from dot products.
+
+use crate::feature::SparseFeatures;
+use anacin_event_graph::EventGraph;
+
+/// A graph kernel with an explicit feature map.
+pub trait GraphKernel: Send + Sync {
+    /// Human-readable kernel name (used in reports and benches).
+    fn name(&self) -> String;
+
+    /// The explicit feature map φ(G).
+    fn features(&self, g: &EventGraph) -> SparseFeatures;
+
+    /// The kernel value k(G, H) = ⟨φ(G), φ(H)⟩.
+    fn value(&self, g: &EventGraph, h: &EventGraph) -> f64 {
+        self.features(g).dot(&self.features(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NodeCountKernel;
+
+    impl GraphKernel for NodeCountKernel {
+        fn name(&self) -> String {
+            "node-count".to_string()
+        }
+        fn features(&self, g: &EventGraph) -> SparseFeatures {
+            [(0u64, g.node_count() as f64)].into_iter().collect()
+        }
+    }
+
+    #[test]
+    fn value_is_feature_dot_product() {
+        use anacin_mpisim::prelude::*;
+        let mut b = ProgramBuilder::new(2);
+        b.rank(Rank(0)).send(Rank(1), Tag(0), 1);
+        b.rank(Rank(1)).recv_any(TagSpec::Any);
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        let g = anacin_event_graph::EventGraph::from_trace(&t);
+        let k = NodeCountKernel;
+        assert_eq!(k.value(&g, &g), (g.node_count() * g.node_count()) as f64);
+        assert_eq!(k.name(), "node-count");
+    }
+}

@@ -1,0 +1,292 @@
+//! Parallel Gram-matrix computation over sets of event graphs.
+//!
+//! A non-determinism measurement compares a *sample* of runs (the paper
+//! uses 20 per setting), which needs the full kernel matrix. Features are
+//! computed once per graph and dot products once per pair; both stages fan
+//! out over `std::thread::scope` workers pulling indices from an atomic
+//! counter — the natural shape for an embarrassingly parallel workload
+//! without pulling in a task scheduler.
+
+use crate::distance::kernel_distance;
+use crate::feature::SparseFeatures;
+use crate::kernel::GraphKernel;
+use anacin_event_graph::EventGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A symmetric kernel (Gram) matrix over a sample of graphs.
+#[derive(Debug, Clone)]
+pub struct KernelMatrix {
+    n: usize,
+    values: Vec<f64>,
+    kernel_name: String,
+}
+
+impl KernelMatrix {
+    /// Number of graphs in the sample.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the sample was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The kernel that produced this matrix.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// Kernel value `k(G_i, G_j)`.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Kernel distance `‖φ(G_i) − φ(G_j)‖`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        kernel_distance(self.value(i, i), self.value(j, j), self.value(i, j))
+    }
+
+    /// Cosine-normalised kernel value in `[0, 1]`.
+    pub fn normalized_value(&self, i: usize, j: usize) -> f64 {
+        crate::distance::normalized_kernel(self.value(i, i), self.value(j, j), self.value(i, j))
+    }
+
+    /// Scale-free distance `√(2 − 2·k̂)` over the normalised kernel — the
+    /// variant to use when comparing patterns of different sizes.
+    pub fn normalized_distance(&self, i: usize, j: usize) -> f64 {
+        (2.0 - 2.0 * self.normalized_value(i, j)).max(0.0).sqrt()
+    }
+
+    /// All pairwise distances for `i < j` (the sample the paper's violin
+    /// plots draw).
+    pub fn pairwise_distances(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n * (self.n.saturating_sub(1)) / 2);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                out.push(self.distance(i, j));
+            }
+        }
+        out
+    }
+
+    /// Mean pairwise distance — the scalar "measured amount of
+    /// non-determinism" for a sample of runs.
+    pub fn mean_pairwise_distance(&self) -> f64 {
+        let d = self.pairwise_distances();
+        if d.is_empty() {
+            0.0
+        } else {
+            d.iter().sum::<f64>() / d.len() as f64
+        }
+    }
+
+    /// Distances from graph `i` to every other graph.
+    pub fn distances_from(&self, i: usize) -> Vec<f64> {
+        (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| self.distance(i, j))
+            .collect()
+    }
+}
+
+/// Compute φ(G) for each graph in parallel.
+pub fn parallel_features(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+) -> Vec<SparseFeatures> {
+    let threads = threads.max(1).min(graphs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<SparseFeatures>> = vec![None; graphs.len()];
+    // Hand each worker a disjoint set of slots via unsafe-free interior
+    // mutability: split the output into per-index cells using a Mutex-free
+    // approach — collect results per worker and scatter afterwards.
+    let results: Vec<Vec<(usize, SparseFeatures)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= graphs.len() {
+                            break;
+                        }
+                        local.push((i, kernel.features(&graphs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for chunk in results {
+        for (i, f) in chunk {
+            out[i] = Some(f);
+        }
+    }
+    out.into_iter().map(|f| f.expect("all slots filled")).collect()
+}
+
+/// Compute the Gram matrix of `graphs` under `kernel` using up to
+/// `threads` worker threads.
+pub fn gram_matrix(kernel: &dyn GraphKernel, graphs: &[EventGraph], threads: usize) -> KernelMatrix {
+    let n = graphs.len();
+    let feats = parallel_features(kernel, graphs, threads);
+    // Pairwise dot products, parallel over rows.
+    let threads = threads.max(1).min(n.max(1));
+    let next_row = AtomicUsize::new(0);
+    let rows: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next_row = &next_row;
+                let feats = &feats;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next_row.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Compute the upper triangle of row i (j >= i).
+                        let row: Vec<f64> =
+                            (i..n).map(|j| feats[i].dot(&feats[j])).collect();
+                        local.push((i, row));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut values = vec![0.0; n * n];
+    for chunk in rows {
+        for (i, row) in chunk {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
+                values[i * n + j] = v;
+                values[j * n + i] = v;
+            }
+        }
+    }
+    KernelMatrix {
+        n,
+        values,
+        kernel_name: kernel.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wl::WlKernel;
+    use anacin_mpisim::prelude::*;
+
+    fn race_graphs(count: u64, nd: f64) -> Vec<EventGraph> {
+        (0..count)
+            .map(|seed| {
+                let mut b = ProgramBuilder::new(6);
+                for r in 1..6 {
+                    b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+                }
+                for _ in 1..6 {
+                    b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+                }
+                let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
+                EventGraph::from_trace(&t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gram_matrix_matches_direct_computation() {
+        let graphs = race_graphs(6, 100.0);
+        let k = WlKernel::default();
+        let m = gram_matrix(&k, &graphs, 4);
+        assert_eq!(m.len(), 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                let direct = k.value(&graphs[i], &graphs[j]);
+                assert!(
+                    (m.value(i, j) - direct).abs() < 1e-9,
+                    "({i},{j}): {} vs {direct}",
+                    m.value(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let graphs = race_graphs(8, 100.0);
+        let k = WlKernel::default();
+        let m1 = gram_matrix(&k, &graphs, 1);
+        let m8 = gram_matrix(&k, &graphs, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(m1.value(i, j), m8.value(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_distances_are_zero_and_matrix_symmetric() {
+        let graphs = race_graphs(5, 100.0);
+        let m = gram_matrix(&WlKernel::default(), &graphs, 3);
+        for i in 0..5 {
+            assert_eq!(m.distance(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(m.value(i, j), m.value(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_distance_count() {
+        let graphs = race_graphs(6, 100.0);
+        let m = gram_matrix(&WlKernel::default(), &graphs, 2);
+        assert_eq!(m.pairwise_distances().len(), 6 * 5 / 2);
+        assert_eq!(m.distances_from(0).len(), 5);
+    }
+
+    #[test]
+    fn identical_runs_give_zero_mean_distance() {
+        // nd = 0: every seed produces the identical trace.
+        let graphs = race_graphs(5, 0.0);
+        let m = gram_matrix(&WlKernel::default(), &graphs, 2);
+        assert_eq!(m.mean_pairwise_distance(), 0.0);
+    }
+
+    #[test]
+    fn nd_runs_give_positive_mean_distance() {
+        let graphs = race_graphs(10, 100.0);
+        let m = gram_matrix(&WlKernel::default(), &graphs, 4);
+        assert!(m.mean_pairwise_distance() > 0.0);
+        assert!(!m.is_empty());
+        assert!(m.kernel_name().starts_with("wl"));
+    }
+
+    #[test]
+    fn normalized_accessors() {
+        let graphs = race_graphs(4, 100.0);
+        let m = gram_matrix(&WlKernel::default(), &graphs, 2);
+        for i in 0..4 {
+            assert!((m.normalized_value(i, i) - 1.0).abs() < 1e-9);
+            assert_eq!(m.normalized_distance(i, i), 0.0);
+            for j in 0..4 {
+                let v = m.normalized_value(i, j);
+                assert!((0.0..=1.0 + 1e-9).contains(&v));
+                assert!(m.normalized_distance(i, j) <= 2f64.sqrt() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sample() {
+        let m = gram_matrix(&WlKernel::default(), &[], 4);
+        assert!(m.is_empty());
+        assert_eq!(m.mean_pairwise_distance(), 0.0);
+        assert!(m.pairwise_distances().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! The Weisfeiler–Lehman subtree kernel.
+//!
+//! The kernel ANACIN-X uses for its headline measurements. Starting from a
+//! node-label policy, `h` rounds of WL relabelling replace each node's
+//! label with a hash of `(own label, sorted incoming-neighbour labels,
+//! sorted outgoing-neighbour labels)`; the feature map counts every label
+//! observed at every round. Two runs whose receives matched different
+//! senders produce different label distributions within `h` hops of the
+//! divergent receives, so the WL kernel distance grows with the amount of
+//! communication reordering — the paper's proxy metric for
+//! non-determinism.
+//!
+//! Direction is respected (in- and out-neighbourhoods hashed separately),
+//! matching the directed nature of event graphs.
+
+use crate::feature::SparseFeatures;
+use crate::kernel::GraphKernel;
+use anacin_event_graph::label::{fnv1a_words, initial_labels, LabelPolicy};
+use anacin_event_graph::{EdgeKind, EventGraph};
+
+/// Weisfeiler–Lehman subtree kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WlKernel {
+    /// Number of relabelling iterations. `0` degenerates to the vertex
+    /// histogram kernel over the initial labels.
+    pub iterations: u32,
+    /// Initial node-label policy.
+    pub policy: LabelPolicy,
+    /// When true, a neighbour's contribution to the relabelling hash is
+    /// paired with the connecting edge's kind, so a program-order
+    /// neighbour and a message neighbour with the same label are
+    /// distinguished. Slightly more discriminating, slightly costlier.
+    pub edge_sensitive: bool,
+}
+
+impl Default for WlKernel {
+    fn default() -> Self {
+        WlKernel {
+            iterations: 3,
+            policy: LabelPolicy::default(),
+            edge_sensitive: false,
+        }
+    }
+}
+
+impl WlKernel {
+    /// A WL kernel with `iterations` rounds and the default label policy.
+    pub fn with_iterations(iterations: u32) -> Self {
+        WlKernel {
+            iterations,
+            ..WlKernel::default()
+        }
+    }
+
+    /// One WL relabelling round.
+    fn relabel(g: &EventGraph, labels: &[u64], edge_sensitive: bool) -> Vec<u64> {
+        let contrib = |label: u64, kind: EdgeKind| -> u64 {
+            if edge_sensitive {
+                let k = match kind {
+                    EdgeKind::Program => 1u64,
+                    EdgeKind::Message => 2u64,
+                };
+                fnv1a_words(&[label, k])
+            } else {
+                label
+            }
+        };
+        let mut next = Vec::with_capacity(labels.len());
+        let mut scratch_in: Vec<u64> = Vec::new();
+        let mut scratch_out: Vec<u64> = Vec::new();
+        for id in g.node_ids() {
+            scratch_in.clear();
+            scratch_out.clear();
+            scratch_in
+                .extend(g.in_edges(id).iter().map(|&(n, k)| contrib(labels[n.index()], k)));
+            scratch_out
+                .extend(g.out_edges(id).iter().map(|&(n, k)| contrib(labels[n.index()], k)));
+            scratch_in.sort_unstable();
+            scratch_out.sort_unstable();
+            // Combine: own label, separator, in-multiset, separator,
+            // out-multiset. The separators prevent ambiguity between the
+            // two neighbourhoods.
+            let mut words = Vec::with_capacity(scratch_in.len() + scratch_out.len() + 3);
+            words.push(labels[id.index()]);
+            words.push(u64::MAX); // separator
+            words.extend_from_slice(&scratch_in);
+            words.push(u64::MAX - 1); // separator
+            words.extend_from_slice(&scratch_out);
+            next.push(fnv1a_words(&words));
+        }
+        next
+    }
+
+    /// The label sequence over all rounds (round 0 = initial labels).
+    /// Exposed for tests and for the root-cause machinery, which needs
+    /// per-node WL labels rather than aggregated counts.
+    pub fn label_rounds(&self, g: &EventGraph) -> Vec<Vec<u64>> {
+        let mut rounds = Vec::with_capacity(self.iterations as usize + 1);
+        rounds.push(initial_labels(g, self.policy));
+        for _ in 0..self.iterations {
+            let next = Self::relabel(g, rounds.last().expect("nonempty"), self.edge_sensitive);
+            rounds.push(next);
+        }
+        rounds
+    }
+}
+
+impl GraphKernel for WlKernel {
+    fn name(&self) -> String {
+        format!(
+            "wl(h={},{:?}{})",
+            self.iterations,
+            self.policy,
+            if self.edge_sensitive { ",edges" } else { "" }
+        )
+    }
+
+    fn features(&self, g: &EventGraph) -> SparseFeatures {
+        let mut f = SparseFeatures::new();
+        for (round, labels) in self.label_rounds(g).into_iter().enumerate() {
+            for l in labels {
+                // Salt the label with the round index so the same hash at
+                // different rounds is a different feature (standard WL).
+                f.bump(fnv1a_words(&[round as u64, l]));
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::kernel_distance;
+    use anacin_mpisim::prelude::*;
+    use anacin_event_graph::EventGraph;
+
+    fn race_graph(n: u32, nd: f64, seed: u64) -> EventGraph {
+        let mut b = ProgramBuilder::new(n);
+        for r in 1..n {
+            b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+        }
+        for _ in 1..n {
+            b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+        let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn h0_feature_count_equals_node_count() {
+        let g = race_graph(4, 0.0, 0);
+        let k = WlKernel {
+            iterations: 0,
+            policy: LabelPolicy::EventType,
+            edge_sensitive: false,
+        };
+        let f = k.features(&g);
+        let total: f64 = f.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, g.node_count() as f64);
+        // Four event classes present.
+        assert_eq!(f.nnz(), 4);
+    }
+
+    #[test]
+    fn feature_total_is_nodes_times_rounds() {
+        let g = race_graph(5, 0.0, 0);
+        let k = WlKernel::with_iterations(3);
+        let f = k.features(&g);
+        let total: f64 = f.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, (g.node_count() * 4) as f64);
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_distance() {
+        let g1 = race_graph(6, 100.0, 42);
+        let g2 = race_graph(6, 100.0, 42);
+        let k = WlKernel::default();
+        let d = kernel_distance(k.value(&g1, &g1), k.value(&g2, &g2), k.value(&g1, &g2));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn reordered_matches_have_positive_distance_under_peer_labels() {
+        let base = race_graph(6, 100.0, 0);
+        let mut other = None;
+        for seed in 1..60 {
+            let g = race_graph(6, 100.0, seed);
+            if g.match_order(Rank(0)) != base.match_order(Rank(0)) {
+                other = Some(g);
+                break;
+            }
+        }
+        let other = other.expect("expected a reordering seed");
+        let k = WlKernel {
+            iterations: 2,
+            policy: LabelPolicy::TypeAndPeer,
+            edge_sensitive: false,
+        };
+        let d = kernel_distance(
+            k.value(&base, &base),
+            k.value(&other, &other),
+            k.value(&base, &other),
+        );
+        assert!(d > 0.0, "WL must see the reordering");
+    }
+
+    #[test]
+    fn event_type_labels_blind_to_pure_sender_permutation() {
+        // The message-race senders are structurally identical, so two runs
+        // differing only in match order are isomorphic; with
+        // permutation-invariant labels WL cannot (and should not)
+        // distinguish them. This is exactly why ANACIN-X uses richer
+        // labels — demonstrated here and in the ablation bench.
+        let base = race_graph(6, 100.0, 0);
+        let mut other = None;
+        for seed in 1..60 {
+            let g = race_graph(6, 100.0, seed);
+            if g.match_order(Rank(0)) != base.match_order(Rank(0)) {
+                other = Some(g);
+                break;
+            }
+        }
+        let other = other.expect("expected a reordering seed");
+        let k = WlKernel {
+            iterations: 3,
+            policy: LabelPolicy::EventType,
+            edge_sensitive: false,
+        };
+        let d = kernel_distance(
+            k.value(&base, &base),
+            k.value(&other, &other),
+            k.value(&base, &other),
+        );
+        assert!(
+            d.abs() < 1e-9,
+            "pure sender permutations are isomorphic; got {d}"
+        );
+    }
+
+    #[test]
+    fn more_iterations_never_decrease_self_similarity() {
+        let g = race_graph(5, 100.0, 3);
+        let mut prev = 0.0;
+        for h in 0..5 {
+            let k = WlKernel::with_iterations(h);
+            let v = k.value(&g, &g);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn label_rounds_shape() {
+        let g = race_graph(4, 0.0, 0);
+        let k = WlKernel::with_iterations(2);
+        let rounds = k.label_rounds(&g);
+        assert_eq!(rounds.len(), 3);
+        for r in &rounds {
+            assert_eq!(r.len(), g.node_count());
+        }
+        // Round 1 must refine round 0: at least as many distinct labels.
+        let distinct = |v: &Vec<u64>| v.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct(&rounds[1]) >= distinct(&rounds[0]));
+    }
+
+    #[test]
+    fn kernel_name_mentions_config() {
+        let k = WlKernel::default();
+        assert!(k.name().starts_with("wl(h=3"));
+    }
+}

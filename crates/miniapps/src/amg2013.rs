@@ -1,0 +1,136 @@
+//! The AMG 2013 communication pattern.
+//!
+//! Paper §II-B: "AMG 2013 expands on the message race pattern by allowing
+//! each process to send a message to all other processes. Each process in
+//! an AMG 2013 pattern does this twice." Per iteration the pattern runs
+//! two all-to-all exchange *phases*; every rank isends to all peers, posts
+//! wildcard irecvs for the inbound messages, and waits — the communication
+//! shape of hypre's BoomerAMG setup/solve sweeps.
+//!
+//! Call paths mimic hypre's, giving the root-cause analysis its most
+//! realistic input (the paper's Figure 8 is produced from this app).
+
+use crate::config::MiniAppConfig;
+use anacin_mpisim::program::{Program, ProgramBuilder};
+use anacin_mpisim::types::{Rank, Tag, TagSpec};
+
+/// Frames of the two exchange phases, mimicking hypre call paths.
+const PHASE_FRAMES: [[&str; 3]; 2] = [
+    ["main", "hypre_BoomerAMGSetup", "hypre_ParCSRMatrixExtractBExt"],
+    ["main", "hypre_BoomerAMGSolve", "hypre_ParCSRMatrixMatvec"],
+];
+
+/// Build the AMG 2013 pattern program.
+///
+/// # Panics
+/// Panics when `config.procs < 2` or `config.iterations < 1`.
+pub fn build(config: &MiniAppConfig) -> Program {
+    config.validate(2);
+    let n = config.procs;
+    let mut b = ProgramBuilder::new(n);
+    for iter in 0..config.iterations {
+        for (phase, frames) in PHASE_FRAMES.iter().enumerate() {
+            let tag = Tag((iter * 2 + phase as u32) as i32);
+            for r in 0..n {
+                let mut rb = b.rank(Rank(r));
+                rb.set_context(frames.iter().copied());
+                rb.push_frame("hypre_ParCSRCommHandleCreate");
+                // Post all inbound wildcard receives first (hypre posts
+                // irecvs before isends), then all sends, then wait.
+                let mut reqs = Vec::with_capacity(2 * (n as usize - 1));
+                for _ in 0..n - 1 {
+                    reqs.push(rb.irecv_any(TagSpec::Tag(tag)));
+                }
+                for peer in 0..n {
+                    if peer != r {
+                        reqs.push(rb.isend(Rank(peer), tag, config.message_bytes));
+                    }
+                }
+                rb.pop_frame();
+                rb.push_frame("hypre_ParCSRCommHandleDestroy");
+                rb.waitall(reqs);
+                rb.pop_frame();
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    #[test]
+    fn message_count_is_two_all_to_alls() {
+        let n = 4u32;
+        let p = build(&MiniAppConfig::with_procs(n));
+        // Two phases of n*(n-1) messages each.
+        assert_eq!(p.total_sends() as u32, 2 * n * (n - 1));
+        assert!(p.check_balance().is_ok());
+    }
+
+    #[test]
+    fn two_process_version_matches_paper_figure_3() {
+        // The paper's Figure 3: 2 ranks, each sends to the other and
+        // receives asynchronously, twice.
+        let p = build(&MiniAppConfig::with_procs(2));
+        assert_eq!(p.total_sends(), 4);
+        assert_eq!(p.total_receives(), 4);
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        assert_eq!(t.meta.unmatched_messages, 0);
+    }
+
+    #[test]
+    fn completes_at_all_nd_levels_and_sizes() {
+        for n in [2, 3, 5, 8] {
+            let p = build(&MiniAppConfig::with_procs(n).iterations(2));
+            for nd in [0.0, 100.0] {
+                let t = simulate(&p, &SimConfig::with_nd_percent(nd, 3)).unwrap();
+                assert_eq!(t.meta.unmatched_messages, 0, "n={n} nd={nd}");
+                t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn hypre_frames_present() {
+        let p = build(&MiniAppConfig::with_procs(3));
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        let mut found_setup = false;
+        let mut found_solve = false;
+        for (_, e) in t.iter() {
+            if let Some(s) = t.stacks().get(e.stack) {
+                let joined = s.to_string();
+                if joined.contains("hypre_BoomerAMGSetup") {
+                    found_setup = true;
+                }
+                if joined.contains("hypre_BoomerAMGSolve") {
+                    found_solve = true;
+                }
+            }
+        }
+        assert!(found_setup && found_solve);
+    }
+
+    #[test]
+    fn exhibits_more_nondeterminism_than_race() {
+        // Sanity: with all-to-all wildcard receives, distinct seeds should
+        // essentially always differ at 100% ND.
+        let p = build(&MiniAppConfig::with_procs(6));
+        let mut orders = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            let all: Vec<_> = (0..6).map(|r| t.match_order(Rank(r))).collect();
+            orders.insert(all);
+        }
+        assert!(orders.len() >= 8, "only {} distinct orders", orders.len());
+    }
+
+    #[test]
+    fn wildcard_receives_dominate() {
+        let p = build(&MiniAppConfig::with_procs(4));
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        assert_eq!(t.wildcard_recv_count() as u32, 2 * 4 * 3);
+    }
+}

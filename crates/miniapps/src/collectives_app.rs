@@ -1,0 +1,114 @@
+//! A collective-heavy mini-application (extension).
+//!
+//! The paper lists MPI collectives as ANACIN-X future work; this pattern
+//! exercises the point-to-point collectives of
+//! `anacin_mpisim::collectives`: per iteration, a broadcast of work from
+//! rank 0, a message-race-style result submission (the only wildcard —
+//! and thus the only non-determinism source), an allreduce of residuals,
+//! and a closing barrier. Useful in the course to show that *collective*
+//! traffic, being fully specified, contributes no communication
+//! non-determinism: at 0% ND the whole app is deterministic, and at 100%
+//! ND only the submission race reorders.
+
+use crate::config::MiniAppConfig;
+use anacin_mpisim::collectives;
+use anacin_mpisim::program::{Program, ProgramBuilder};
+use anacin_mpisim::types::{Rank, Tag, TagSpec};
+
+/// Build the collectives mini-app.
+///
+/// # Panics
+/// Panics when `config.procs < 2` or `config.iterations < 1`.
+pub fn build(config: &MiniAppConfig) -> Program {
+    config.validate(2);
+    let n = config.procs;
+    let mut b = ProgramBuilder::new(n);
+    for iter in 0..config.iterations {
+        let inst = iter as i32 * 8;
+        // Distribute work.
+        collectives::broadcast(&mut b, n, Rank(0), config.message_bytes, inst);
+        // Racy result submission (wildcards at the root).
+        let tag = Tag(iter as i32);
+        for r in 1..n {
+            let mut rb = b.rank(Rank(r));
+            rb.set_context(["main", "iterate", "submit_partial"]);
+            rb.send(Rank(0), tag, config.message_bytes);
+        }
+        {
+            let mut root = b.rank(Rank(0));
+            root.set_context(["main", "iterate", "gather_partials"]);
+            for _ in 1..n {
+                root.recv_any(TagSpec::Tag(tag));
+            }
+        }
+        // Reduce the residual everywhere, then synchronise. Reset every
+        // rank's call-path context first so collective frames nest under
+        // `main > iterate`, not under the submission helpers.
+        for r in 0..n {
+            b.rank(Rank(r)).set_context(["main", "iterate"]);
+        }
+        collectives::allreduce(&mut b, n, 8, inst + 1);
+        collectives::barrier(&mut b, n, inst + 4);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    #[test]
+    fn completes_for_various_sizes() {
+        for procs in [2, 3, 5, 8] {
+            let p = build(&MiniAppConfig::with_procs(procs).iterations(2));
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, 7))
+                .unwrap_or_else(|e| panic!("procs={procs}: {e}"));
+            assert_eq!(t.meta.unmatched_messages, 0);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn only_the_submission_race_is_wildcard() {
+        let n = 6u32;
+        let p = build(&MiniAppConfig::with_procs(n));
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        assert_eq!(t.wildcard_recv_count() as u32, n - 1);
+    }
+
+    #[test]
+    fn deterministic_at_zero_nd() {
+        let p = build(&MiniAppConfig::with_procs(5));
+        let a = simulate(
+            &p,
+            &SimConfig {
+                network: NetworkConfig::deterministic(),
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let b2 = simulate(
+            &p,
+            &SimConfig {
+                network: NetworkConfig::deterministic(),
+                seed: 2,
+            },
+        )
+        .unwrap();
+        for r in 0..5 {
+            assert_eq!(a.rank_events(Rank(r)), b2.rank_events(Rank(r)));
+        }
+    }
+
+    #[test]
+    fn race_still_races_at_full_nd() {
+        let p = build(&MiniAppConfig::with_procs(8));
+        let mut orders = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            orders.insert(t.match_order(Rank(0)));
+        }
+        assert!(orders.len() > 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! The message-race mini-application.
+//!
+//! Paper §II-B: "a message race is when multiple messages are being sent
+//! to the same process, and the order they will arrive in is unknown. It
+//! is the simplest communication pattern of the three." Every non-root
+//! rank sends one message per iteration to rank 0, which posts wildcard
+//! receives — the minimal widget exhibiting communication
+//! non-determinism.
+//!
+//! Call paths mimic a small client/aggregator code so the root-cause
+//! analysis has realistic frames to rank.
+
+use crate::config::MiniAppConfig;
+use anacin_mpisim::program::{Program, ProgramBuilder};
+use anacin_mpisim::types::{Rank, Tag, TagSpec};
+
+/// Build the message-race program: ranks `1..procs` send to rank 0.
+///
+/// # Panics
+/// Panics when `config.procs < 2` or `config.iterations < 1`.
+pub fn build(config: &MiniAppConfig) -> Program {
+    config.validate(2);
+    let n = config.procs;
+    let mut b = ProgramBuilder::new(n);
+    for iter in 0..config.iterations {
+        let tag = Tag(iter as i32);
+        for r in 1..n {
+            let mut rb = b.rank(Rank(r));
+            rb.set_context(["main", "worker_loop", "submit_result"]);
+            rb.send(Rank(0), tag, config.message_bytes);
+        }
+        {
+            let mut root = b.rank(Rank(0));
+            root.set_context(["main", "aggregate_results", "collect_any"]);
+            for _ in 1..n {
+                root.recv_any(TagSpec::Tag(tag));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    #[test]
+    fn structure_counts() {
+        let p = build(&MiniAppConfig::with_procs(4));
+        assert_eq!(p.world_size(), 4);
+        assert_eq!(p.total_sends(), 3);
+        assert_eq!(p.total_receives(), 3);
+        assert!(p.check_balance().is_ok());
+    }
+
+    #[test]
+    fn iterations_scale_messages() {
+        let p = build(&MiniAppConfig::with_procs(4).iterations(3));
+        assert_eq!(p.total_sends(), 9);
+        assert!(p.check_balance().is_ok());
+    }
+
+    #[test]
+    fn runs_to_completion_at_any_nd() {
+        let p = build(&MiniAppConfig::with_procs(8).iterations(2));
+        for nd in [0.0, 50.0, 100.0] {
+            let t = simulate(&p, &SimConfig::with_nd_percent(nd, 1)).unwrap();
+            assert_eq!(t.meta.unmatched_messages, 0);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_receives_are_wildcards() {
+        let p = build(&MiniAppConfig::with_procs(6));
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        assert_eq!(t.wildcard_recv_count(), 5);
+    }
+
+    #[test]
+    fn exhibits_nondeterminism_at_full_nd() {
+        let p = build(&MiniAppConfig::with_procs(8));
+        let mut orders = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            orders.insert(t.match_order(Rank(0)));
+        }
+        assert!(orders.len() > 1);
+    }
+
+    #[test]
+    fn call_paths_attached() {
+        let p = build(&MiniAppConfig::with_procs(3));
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        let mut leaves = std::collections::HashSet::new();
+        for (_, e) in t.iter() {
+            if let Some(s) = t.stacks().get(e.stack) {
+                if let Some(l) = s.leaf() {
+                    leaves.insert(l.to_string());
+                }
+            }
+        }
+        assert!(leaves.contains("MPI_Send"));
+        assert!(leaves.contains("MPI_Recv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_process()
+    {
+        build(&MiniAppConfig::with_procs(1));
+    }
+}

@@ -1,0 +1,131 @@
+//! The pattern registry: one name per packaged mini-application.
+
+use crate::config::MiniAppConfig;
+use anacin_mpisim::program::Program;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The communication patterns packaged with the toolkit (paper §II-B) plus
+/// the collectives extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Many senders, one wildcard-receiving root.
+    MessageRace,
+    /// Two all-to-all exchange phases per iteration (hypre-like).
+    Amg2013,
+    /// Halo exchange over a random neighbour topology (Chatterbug-like).
+    UnstructuredMesh,
+    /// Collective-heavy phase built on point-to-point (extension; the
+    /// paper lists collectives as future work).
+    Collectives,
+    /// Deterministic 2-D stencil halo exchange (extension): named sources
+    /// and tags — the negative control that stays reproducible at any
+    /// injected ND percentage.
+    Stencil2d,
+}
+
+impl Pattern {
+    /// All packaged patterns.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::MessageRace,
+        Pattern::Amg2013,
+        Pattern::UnstructuredMesh,
+        Pattern::Collectives,
+        Pattern::Stencil2d,
+    ];
+
+    /// Canonical name (as accepted by [`Pattern::from_str`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::MessageRace => "message-race",
+            Pattern::Amg2013 => "amg2013",
+            Pattern::UnstructuredMesh => "unstructured-mesh",
+            Pattern::Collectives => "collectives",
+            Pattern::Stencil2d => "stencil2d",
+        }
+    }
+
+    /// Build the pattern's program for `config`.
+    pub fn build(&self, config: &MiniAppConfig) -> Program {
+        match self {
+            Pattern::MessageRace => crate::message_race::build(config),
+            Pattern::Amg2013 => crate::amg2013::build(config),
+            Pattern::UnstructuredMesh => crate::unstructured_mesh::build(config),
+            Pattern::Collectives => crate::collectives_app::build(config),
+            Pattern::Stencil2d => crate::stencil2d::build(config),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for unknown pattern names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPattern(pub String);
+
+impl fmt::Display for UnknownPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown pattern '{}'; expected one of message-race, amg2013, unstructured-mesh, collectives",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownPattern {}
+
+impl FromStr for Pattern {
+    type Err = UnknownPattern;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "message-race" | "message_race" | "race" => Ok(Pattern::MessageRace),
+            "amg2013" | "amg" => Ok(Pattern::Amg2013),
+            "unstructured-mesh" | "unstructured_mesh" | "mesh" => Ok(Pattern::UnstructuredMesh),
+            "collectives" => Ok(Pattern::Collectives),
+            "stencil2d" | "stencil" => Ok(Pattern::Stencil2d),
+            other => Err(UnknownPattern(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Pattern::ALL {
+            assert_eq!(p.name().parse::<Pattern>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!("race".parse::<Pattern>().unwrap(), Pattern::MessageRace);
+        assert_eq!("AMG".parse::<Pattern>().unwrap(), Pattern::Amg2013);
+        assert!("nope".parse::<Pattern>().is_err());
+        assert!("nope"
+            .parse::<Pattern>()
+            .unwrap_err()
+            .to_string()
+            .contains("unknown pattern"));
+    }
+
+    #[test]
+    fn every_pattern_builds_and_runs() {
+        for p in Pattern::ALL {
+            let cfg = MiniAppConfig::with_procs(4);
+            let prog = p.build(&cfg);
+            prog.check_balance().unwrap_or_else(|e| panic!("{p}: {e}"));
+            prog.check_requests().unwrap_or_else(|e| panic!("{p}: {e}"));
+            let t = simulate(&prog, &SimConfig::with_nd_percent(100.0, 1))
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+            assert_eq!(t.meta.unmatched_messages, 0, "{p}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! A 2-D stencil halo exchange — the *deterministic* control pattern.
+//!
+//! Ranks form a (nearly) square process grid; each iteration every rank
+//! exchanges halos with its four neighbours using **named sources and
+//! tags** (as well-written stencil codes do). With fully specified
+//! matching there is no race to win: the kernel distance between runs is
+//! exactly zero at any injected ND percentage. The course uses it as the
+//! negative control next to the racy patterns — network delays alone do
+//! not create communication non-determinism; wildcard matching does.
+
+use crate::config::MiniAppConfig;
+use anacin_mpisim::program::{Program, ProgramBuilder};
+use anacin_mpisim::types::{Rank, Tag};
+
+/// The process-grid shape used for `procs` ranks: the most square
+/// `rows × cols` factorisation with `rows * cols == procs`.
+pub fn grid_shape(procs: u32) -> (u32, u32) {
+    assert!(procs >= 1);
+    let mut best = (1, procs);
+    let mut r = 1;
+    while r * r <= procs {
+        if procs.is_multiple_of(r) {
+            best = (r, procs / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+fn neighbours(rank: u32, rows: u32, cols: u32) -> Vec<(Rank, Tag)> {
+    let (row, col) = (rank / cols, rank % cols);
+    let mut out = Vec::with_capacity(4);
+    // Directions get distinct tags so reverse halves of an exchange can
+    // never cross-match: 0 = up, 1 = down, 2 = left, 3 = right.
+    if row > 0 {
+        out.push((Rank(rank - cols), Tag(0)));
+    }
+    if row + 1 < rows {
+        out.push((Rank(rank + cols), Tag(1)));
+    }
+    if col > 0 {
+        out.push((Rank(rank - 1), Tag(2)));
+    }
+    if col + 1 < cols {
+        out.push((Rank(rank + 1), Tag(3)));
+    }
+    out
+}
+
+/// Build the stencil program.
+///
+/// # Panics
+/// Panics when `config.procs < 2` or `config.iterations < 1`.
+pub fn build(config: &MiniAppConfig) -> Program {
+    config.validate(2);
+    let n = config.procs;
+    let (rows, cols) = grid_shape(n);
+    let mut b = ProgramBuilder::new(n);
+    for iter in 0..config.iterations {
+        let tag_base = iter as i32 * 8;
+        for r in 0..n {
+            let mut rb = b.rank(Rank(r));
+            rb.set_context(["main", "stencil_step", "exchange_halos"]);
+            let mut reqs = Vec::new();
+            // Post named receives for each inbound halo. The inbound tag
+            // is the neighbour's outbound direction tag.
+            rb.push_frame("post_halo_receives");
+            for (nbr, _) in neighbours(r, rows, cols) {
+                // Which direction does `nbr` send to reach us?
+                let inbound_tag = neighbours(nbr.0, rows, cols)
+                    .into_iter()
+                    .find(|(t, _)| t.0 == r)
+                    .map(|(_, tag)| tag)
+                    .expect("neighbour relation is symmetric");
+                reqs.push(rb.irecv(nbr, Tag(tag_base + inbound_tag.0).into()));
+            }
+            rb.pop_frame();
+            rb.push_frame("send_halos");
+            for (nbr, tag) in neighbours(r, rows, cols) {
+                reqs.push(rb.isend(nbr, Tag(tag_base + tag.0), config.message_bytes));
+            }
+            rb.pop_frame();
+            rb.waitall(reqs);
+            rb.set_context(["main", "stencil_step", "apply_stencil"]);
+            rb.compute(300);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(6), (2, 3));
+        assert_eq!(grid_shape(12), (3, 4));
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(7), (1, 7));
+    }
+
+    #[test]
+    fn neighbour_symmetry() {
+        let (rows, cols) = (3, 4);
+        for r in 0..12u32 {
+            for (nbr, _) in neighbours(r, rows, cols) {
+                let back: Vec<u32> = neighbours(nbr.0, rows, cols)
+                    .iter()
+                    .map(|(n, _)| n.0)
+                    .collect();
+                assert!(back.contains(&r), "{r} -> {nbr} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_and_completes() {
+        for procs in [2, 4, 6, 9, 12, 16] {
+            let p = build(&MiniAppConfig::with_procs(procs).iterations(2));
+            p.check_balance().unwrap_or_else(|e| panic!("procs={procs}: {e}"));
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, 5))
+                .unwrap_or_else(|e| panic!("procs={procs}: {e}"));
+            assert_eq!(t.meta.unmatched_messages, 0);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_wildcards_at_all() {
+        let p = build(&MiniAppConfig::with_procs(12));
+        let t = simulate(&p, &SimConfig::with_nd_percent(100.0, 1)).unwrap();
+        assert_eq!(t.wildcard_recv_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_even_at_full_nd() {
+        // The headline property: named matching ⇒ identical communication
+        // structure across seeds even with every message delayed.
+        let p = build(&MiniAppConfig::with_procs(9).iterations(2));
+        let base = simulate(&p, &SimConfig::with_nd_percent(100.0, 0)).unwrap();
+        for seed in 1..10 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            for r in 0..9 {
+                assert_eq!(
+                    t.match_order(Rank(r)),
+                    base.match_order(Rank(r)),
+                    "seed {seed} rank {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_count_matches_grid_edges() {
+        // 3×4 grid: horizontal edges 3*3, vertical 2*4 → 17 undirected,
+        // 34 directed messages per iteration.
+        let p = build(&MiniAppConfig::with_procs(12));
+        assert_eq!(p.total_sends(), 34);
+    }
+}

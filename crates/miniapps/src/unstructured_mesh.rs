@@ -1,0 +1,186 @@
+//! The unstructured-mesh communication pattern.
+//!
+//! Paper §II-B: "Unstructured Mesh expands further by randomizing which
+//! processes are allowed to communicate with each other." Modelled on the
+//! Chatterbug `unstr-mesh` proxy: a random directed neighbour topology is
+//! drawn once from `topology_seed` (it is part of the *program*, like a
+//! mesh decomposition), and each iteration performs a halo exchange over
+//! it — isends to out-neighbours, wildcard irecvs for in-neighbours,
+//! waitall.
+
+use crate::config::MiniAppConfig;
+use anacin_mpisim::program::{Program, ProgramBuilder};
+use anacin_mpisim::types::{Rank, Tag, TagSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The random neighbour topology of an unstructured-mesh instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshTopology {
+    /// `out[r]` = ranks r sends to each iteration.
+    pub out: Vec<Vec<Rank>>,
+    /// `in_degree[r]` = number of messages r receives each iteration.
+    pub in_degree: Vec<u32>,
+}
+
+impl MeshTopology {
+    /// Draw a topology: each rank picks `degree` distinct out-neighbours
+    /// uniformly (excluding itself), seeded so a configuration denotes one
+    /// fixed mesh.
+    pub fn generate(procs: u32, degree: u32, seed: u64) -> Self {
+        assert!(procs >= 2, "mesh needs at least 2 processes");
+        let degree = degree.min(procs - 1).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = vec![Vec::new(); procs as usize];
+        let mut in_degree = vec![0u32; procs as usize];
+        for r in 0..procs {
+            let mut peers: Vec<u32> = (0..procs).filter(|&p| p != r).collect();
+            // Partial Fisher-Yates: pick `degree` distinct peers.
+            for i in 0..degree as usize {
+                let j = rng.gen_range(i..peers.len());
+                peers.swap(i, j);
+            }
+            for &p in peers.iter().take(degree as usize) {
+                out[r as usize].push(Rank(p));
+                in_degree[p as usize] += 1;
+            }
+        }
+        MeshTopology { out, in_degree }
+    }
+
+    /// Total directed edges in the mesh.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+}
+
+/// Build the unstructured-mesh program.
+///
+/// # Panics
+/// Panics when `config.procs < 2` or `config.iterations < 1`.
+pub fn build(config: &MiniAppConfig) -> Program {
+    config.validate(2);
+    let topo = MeshTopology::generate(config.procs, config.mesh_degree, config.topology_seed);
+    build_with_topology(config, &topo)
+}
+
+/// Build against an explicit topology (exposed for tests and ablations).
+pub fn build_with_topology(config: &MiniAppConfig, topo: &MeshTopology) -> Program {
+    config.validate(2);
+    let n = config.procs;
+    let mut b = ProgramBuilder::new(n);
+    for iter in 0..config.iterations {
+        let tag = Tag(iter as i32);
+        for r in 0..n {
+            let mut rb = b.rank(Rank(r));
+            rb.set_context(["main", "mesh_solver_step", "exchange_halo"]);
+            let mut reqs = Vec::new();
+            rb.push_frame("post_receives");
+            for _ in 0..topo.in_degree[r as usize] {
+                reqs.push(rb.irecv_any(TagSpec::Tag(tag)));
+            }
+            rb.pop_frame();
+            rb.push_frame("pack_and_send");
+            for &dst in &topo.out[r as usize] {
+                reqs.push(rb.isend(dst, tag, config.message_bytes));
+            }
+            rb.pop_frame();
+            rb.waitall(reqs);
+            // Local stencil work between iterations.
+            rb.set_context(["main", "mesh_solver_step", "local_compute"]);
+            rb.compute(200);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    #[test]
+    fn topology_is_seed_deterministic() {
+        let a = MeshTopology::generate(16, 3, 42);
+        let b = MeshTopology::generate(16, 3, 42);
+        let c = MeshTopology::generate(16, 3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn topology_degrees() {
+        let t = MeshTopology::generate(10, 3, 1);
+        for (r, out) in t.out.iter().enumerate() {
+            assert_eq!(out.len(), 3);
+            // Distinct, no self.
+            let set: std::collections::HashSet<_> = out.iter().collect();
+            assert_eq!(set.len(), 3);
+            assert!(!out.contains(&Rank(r as u32)));
+        }
+        assert_eq!(t.edge_count(), 30);
+        assert_eq!(t.in_degree.iter().sum::<u32>(), 30);
+    }
+
+    #[test]
+    fn degree_clamped_to_procs_minus_one() {
+        let t = MeshTopology::generate(3, 10, 0);
+        for out in &t.out {
+            assert_eq!(out.len(), 2);
+        }
+    }
+
+    #[test]
+    fn program_is_balanced_and_completes() {
+        for procs in [2, 4, 9, 16] {
+            let cfg = MiniAppConfig::with_procs(procs).iterations(2);
+            let p = build(&cfg);
+            assert!(p.check_balance().is_ok(), "procs={procs}");
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, 5)).unwrap();
+            assert_eq!(t.meta.unmatched_messages, 0);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn same_config_same_program() {
+        let cfg = MiniAppConfig::with_procs(8);
+        let t1 = simulate(&build(&cfg), &SimConfig::deterministic()).unwrap();
+        let t2 = simulate(&build(&cfg), &SimConfig::deterministic()).unwrap();
+        for r in 0..8 {
+            assert_eq!(t1.rank_events(Rank(r)), t2.rank_events(Rank(r)));
+        }
+    }
+
+    #[test]
+    fn message_count_scales_with_iterations() {
+        let one = build(&MiniAppConfig::with_procs(8).iterations(1));
+        let two = build(&MiniAppConfig::with_procs(8).iterations(2));
+        assert_eq!(two.total_sends(), 2 * one.total_sends());
+    }
+
+    #[test]
+    fn nondeterministic_across_seeds() {
+        let p = build(&MiniAppConfig::with_procs(12));
+        let mut fingerprints = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            let fp: Vec<_> = (0..12).map(|r| t.match_order(Rank(r))).collect();
+            fingerprints.insert(fp);
+        }
+        assert!(fingerprints.len() > 1);
+    }
+
+    #[test]
+    fn halo_frames_present() {
+        let p = build(&MiniAppConfig::with_procs(4));
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        let any_halo = t.iter().any(|(_, e)| {
+            t.stacks()
+                .get(e.stack)
+                .map(|s| s.to_string().contains("exchange_halo"))
+                .unwrap_or(false)
+        });
+        assert!(any_halo);
+    }
+}

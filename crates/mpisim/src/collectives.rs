@@ -1,0 +1,245 @@
+//! Collective operations built on point-to-point messages.
+//!
+//! The paper scopes ANACIN-X to one-to-one MPI calls and names collectives
+//! as future work; this module implements that extension. Every collective
+//! is expressed purely as `send`/`recv` ops added to a [`ProgramBuilder`],
+//! so the rest of the toolchain (tracing, event graphs, kernels) works on
+//! collective traffic unchanged. Each collective pushes an identifying
+//! context frame (`MPI_Barrier`, `MPI_Bcast`, …) so call-path analysis can
+//! attribute its traffic.
+//!
+//! Algorithms are the textbook ones: dissemination barrier, binomial-tree
+//! broadcast and reduce, and allreduce as reduce-then-broadcast (correct
+//! for any rank count, including non-powers of two).
+
+use crate::program::ProgramBuilder;
+use crate::types::{Rank, Tag};
+
+/// Tags used by collectives are offset into a reserved space so user tags
+/// (small non-negative integers) never collide with them.
+const COLLECTIVE_TAG_BASE: i32 = 1 << 20;
+
+fn round_tag(base: i32, round: u32) -> Tag {
+    Tag(COLLECTIVE_TAG_BASE + base + round as i32)
+}
+
+fn ceil_log2(n: u32) -> u32 {
+    debug_assert!(n > 0);
+    32 - (n - 1).leading_zeros()
+}
+
+/// Append a dissemination barrier across all ranks.
+///
+/// `instance` disambiguates tags when a program contains several barriers.
+pub fn barrier(b: &mut ProgramBuilder, world_size: u32, instance: i32) {
+    if world_size <= 1 {
+        return;
+    }
+    let rounds = ceil_log2(world_size);
+    for k in 0..rounds {
+        let stride = 1u32 << k;
+        for r in 0..world_size {
+            let to = Rank((r + stride) % world_size);
+            let from = Rank((r + world_size - stride % world_size) % world_size);
+            let mut rb = b.rank(Rank(r));
+            rb.push_frame("MPI_Barrier");
+            rb.send(to, round_tag(instance * 64, k), 0);
+            rb.recv(from, round_tag(instance * 64, k).into());
+            rb.pop_frame();
+        }
+    }
+}
+
+/// Append a binomial-tree broadcast of `bytes` bytes from `root`.
+pub fn broadcast(b: &mut ProgramBuilder, world_size: u32, root: Rank, bytes: u64, instance: i32) {
+    if world_size <= 1 {
+        return;
+    }
+    let rounds = ceil_log2(world_size);
+    for k in 0..rounds {
+        let stride = 1u32 << k;
+        for r in 0..world_size {
+            // Work in root-relative coordinates.
+            let rel = (r + world_size - root.0 % world_size) % world_size;
+            let tag = round_tag(instance * 64 + 16, k);
+            if rel < stride && rel + stride < world_size {
+                let dst = Rank((r + stride) % world_size);
+                let mut rb = b.rank(Rank(r));
+                rb.push_frame("MPI_Bcast");
+                rb.send(dst, tag, bytes);
+                rb.pop_frame();
+            } else if rel >= stride && rel < 2 * stride {
+                let src = Rank((r + world_size - stride % world_size) % world_size);
+                let mut rb = b.rank(Rank(r));
+                rb.push_frame("MPI_Bcast");
+                rb.recv(src, tag.into());
+                rb.pop_frame();
+            }
+        }
+    }
+}
+
+/// Append a binomial-tree reduction of `bytes` bytes to `root`.
+pub fn reduce(b: &mut ProgramBuilder, world_size: u32, root: Rank, bytes: u64, instance: i32) {
+    if world_size <= 1 {
+        return;
+    }
+    let rounds = ceil_log2(world_size);
+    // Reverse of the broadcast tree: leaves send first.
+    for k in (0..rounds).rev() {
+        let stride = 1u32 << k;
+        for r in 0..world_size {
+            let rel = (r + world_size - root.0 % world_size) % world_size;
+            let tag = round_tag(instance * 64 + 32, k);
+            if rel >= stride && rel < 2 * stride {
+                let dst = Rank((r + world_size - stride % world_size) % world_size);
+                let mut rb = b.rank(Rank(r));
+                rb.push_frame("MPI_Reduce");
+                rb.send(dst, tag, bytes);
+                rb.pop_frame();
+            } else if rel < stride && rel + stride < world_size {
+                let src = Rank((r + stride) % world_size);
+                let mut rb = b.rank(Rank(r));
+                rb.push_frame("MPI_Reduce");
+                rb.recv(src, tag.into());
+                rb.pop_frame();
+            }
+        }
+    }
+}
+
+/// Append an allreduce (reduce to rank 0, then broadcast from rank 0).
+pub fn allreduce(b: &mut ProgramBuilder, world_size: u32, bytes: u64, instance: i32) {
+    reduce(b, world_size, Rank(0), bytes, instance * 2 + 1);
+    broadcast(b, world_size, Rank(0), bytes, instance * 2 + 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::types::SimTime;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    fn run_ok(world: u32, f: impl Fn(&mut ProgramBuilder, u32)) {
+        let mut b = ProgramBuilder::new(world);
+        f(&mut b, world);
+        let p = b.build();
+        p.check_balance().unwrap_or_else(|e| panic!("world {world}: {e}"));
+        let t = simulate(&p, &SimConfig::deterministic())
+            .unwrap_or_else(|e| panic!("world {world}: {e}"));
+        assert_eq!(t.meta.unmatched_messages, 0, "world {world}");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_completes_for_many_sizes() {
+        for n in [2, 3, 4, 5, 7, 8, 16] {
+            run_ok(n, |b, w| barrier(b, w, 0));
+        }
+    }
+
+    #[test]
+    fn broadcast_completes_for_many_sizes_and_roots() {
+        for n in [2u32, 3, 4, 5, 8, 13] {
+            for root in [0, n - 1, n / 2] {
+                run_ok(n, |b, w| broadcast(b, w, Rank(root), 64, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_completes_for_many_sizes_and_roots() {
+        for n in [2u32, 3, 4, 5, 8, 13] {
+            for root in [0, n - 1] {
+                run_ok(n, |b, w| reduce(b, w, Rank(root), 64, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_completes() {
+        for n in [2, 3, 6, 9, 16] {
+            run_ok(n, |b, w| allreduce(b, w, 8, 0));
+        }
+    }
+
+    #[test]
+    fn broadcast_message_count_is_n_minus_1() {
+        let n = 8;
+        let mut b = ProgramBuilder::new(n);
+        broadcast(&mut b, n, Rank(0), 4, 0);
+        let p = b.build();
+        assert_eq!(p.total_sends() as u32, n - 1);
+    }
+
+    #[test]
+    fn reduce_message_count_is_n_minus_1() {
+        let n = 13;
+        let mut b = ProgramBuilder::new(n);
+        reduce(&mut b, n, Rank(0), 4, 0);
+        let p = b.build();
+        assert_eq!(p.total_sends() as u32, n - 1);
+    }
+
+    #[test]
+    fn barrier_synchronises_ranks() {
+        // A rank that computes for a long time before the barrier must
+        // delay every other rank's post-barrier finalize.
+        let n = 4u32;
+        let mut b = ProgramBuilder::new(n);
+        b.rank(Rank(2)).compute(5_000_000);
+        barrier(&mut b, n, 0);
+        let p = b.build();
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        for r in 0..n {
+            assert!(
+                t.meta.makespan >= SimTime(5_000_000),
+                "rank {r} finished before the slow rank reached the barrier"
+            );
+            let last = t.rank_events(Rank(r)).last().unwrap();
+            assert!(last.time >= SimTime(5_000_000), "rank {r} not held back");
+        }
+    }
+
+    #[test]
+    fn collective_traffic_carries_identifying_frames() {
+        let n = 4u32;
+        let mut b = ProgramBuilder::new(n);
+        barrier(&mut b, n, 0);
+        let p = b.build();
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        let mut saw_barrier_frame = false;
+        for (_, e) in t.iter() {
+            if let Some(s) = t.stacks().get(e.stack) {
+                if s.frames().iter().any(|f| f == "MPI_Barrier") {
+                    saw_barrier_frame = true;
+                }
+            }
+        }
+        assert!(saw_barrier_frame);
+    }
+
+    #[test]
+    fn multiple_collectives_do_not_collide() {
+        let n = 5u32;
+        let mut b = ProgramBuilder::new(n);
+        barrier(&mut b, n, 0);
+        broadcast(&mut b, n, Rank(1), 16, 1);
+        barrier(&mut b, n, 2);
+        allreduce(&mut b, n, 8, 3);
+        let p = b.build();
+        let t = simulate(&p, &SimConfig::deterministic()).unwrap();
+        assert_eq!(t.meta.unmatched_messages, 0);
+    }
+}

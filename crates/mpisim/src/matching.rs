@@ -1,0 +1,274 @@
+//! MPI message-matching semantics.
+//!
+//! Each rank owns a [`MatchEngine`] holding the two canonical MPI queues:
+//! the *unexpected-message queue* (messages that arrived before a matching
+//! receive was posted, in arrival order) and the *posted-receive queue*
+//! (receives not yet satisfied, in post order). Matching follows the MPI
+//! standard:
+//!
+//! * when a message arrives, it is delivered to the **first posted** receive
+//!   whose source/tag specification it satisfies;
+//! * when a receive is posted, it consumes the **first arrived** matching
+//!   message from the unexpected queue;
+//! * messages on the same `(src, dst)` channel are matched in send order
+//!   (non-overtaking). The engine guarantees this by clamping per-channel
+//!   delivery times monotonically, so arrival order within a channel equals
+//!   send order and the two scans above preserve it.
+//!
+//! A receive may carry a *forced match* constraint — the record/replay
+//! mechanism (`crate::replay`) pins a wildcard receive to the exact message
+//! it consumed in a recorded run.
+
+use crate::types::{ChannelSeq, Rank, ReqSlot, SimTime, SrcSpec, Tag, TagSpec};
+use std::collections::VecDeque;
+
+/// A message travelling through (or parked at) the destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InFlightMsg {
+    /// Sending rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Position of this message on the `(src, dst)` channel.
+    pub seq: ChannelSeq,
+    /// Rank-local index of the send event that injected the message.
+    pub send_event_idx: u32,
+    /// Delivery time at the destination.
+    pub arrival: SimTime,
+    /// True for synchronous (`MPI_Ssend`) messages: the sender is blocked
+    /// until this message is matched.
+    pub sync: bool,
+}
+
+/// How a posted receive completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostKind {
+    /// A blocking `MPI_Recv`; the rank is descheduled until it matches.
+    Blocking,
+    /// A nonblocking `MPI_Irecv` completing into the given request slot.
+    Nonblocking(ReqSlot),
+}
+
+/// A receive waiting in the posted queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostedRecv {
+    /// Source specification.
+    pub src: SrcSpec,
+    /// Tag specification.
+    pub tag: TagSpec,
+    /// Rank-local index of the receive's trace event (blocking receives
+    /// only; nonblocking completions are emitted at the wait).
+    pub event_idx: u32,
+    /// Posting ordinal of the receive on its rank (record/replay key).
+    pub ordinal: u32,
+    /// Blocking or nonblocking completion.
+    pub kind: PostKind,
+    /// Local time at which the receive was posted.
+    pub posted_at: SimTime,
+    /// Replay constraint: only the message with this `(src, seq)` may match.
+    pub forced: Option<(Rank, ChannelSeq)>,
+}
+
+impl PostedRecv {
+    /// Does `msg` satisfy this receive (including any replay constraint)?
+    #[inline]
+    pub fn accepts(&self, msg: &InFlightMsg) -> bool {
+        if !self.src.matches(msg.src) || !self.tag.matches(msg.tag) {
+            return false;
+        }
+        match self.forced {
+            Some((src, seq)) => msg.src == src && msg.seq == seq,
+            None => true,
+        }
+    }
+}
+
+/// Per-destination matching state.
+#[derive(Debug, Default)]
+pub struct MatchEngine {
+    unexpected: VecDeque<InFlightMsg>,
+    posted: VecDeque<PostedRecv>,
+}
+
+impl MatchEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle a message arrival. Returns the satisfied receive paired with
+    /// the message, or parks the message in the unexpected queue.
+    pub fn on_arrival(&mut self, msg: InFlightMsg) -> Option<(PostedRecv, InFlightMsg)> {
+        if let Some(pos) = self.posted.iter().position(|r| r.accepts(&msg)) {
+            let recv = self.posted.remove(pos).expect("position is in range");
+            Some((recv, msg))
+        } else {
+            self.unexpected.push_back(msg);
+            None
+        }
+    }
+
+    /// Handle a newly posted receive. Returns the receive paired with the
+    /// matched message, or parks the receive in the posted queue.
+    pub fn on_post(&mut self, recv: PostedRecv) -> Option<(PostedRecv, InFlightMsg)> {
+        if let Some(pos) = self.unexpected.iter().position(|m| recv.accepts(m)) {
+            let msg = self.unexpected.remove(pos).expect("position is in range");
+            Some((recv, msg))
+        } else {
+            self.posted.push_back(recv);
+            None
+        }
+    }
+
+    /// Number of parked (arrived but unmatched) messages.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Number of posted-but-unsatisfied receives.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Drain parked messages (used for end-of-run diagnostics).
+    pub fn drain_unexpected(&mut self) -> impl Iterator<Item = InFlightMsg> + '_ {
+        self.unexpected.drain(..)
+    }
+
+    /// Iterate over posted-but-unsatisfied receives (deadlock diagnostics).
+    pub fn posted_iter(&self) -> impl Iterator<Item = &PostedRecv> {
+        self.posted.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: u32, tag: i32, seq: u64, arrival: u64) -> InFlightMsg {
+        InFlightMsg {
+            src: Rank(src),
+            dst: Rank(0),
+            tag: Tag(tag),
+            bytes: 8,
+            seq: ChannelSeq(seq),
+            send_event_idx: 0,
+            arrival: SimTime(arrival),
+            sync: false,
+        }
+    }
+
+    fn recv(src: SrcSpec, tag: TagSpec) -> PostedRecv {
+        PostedRecv {
+            src,
+            tag,
+            event_idx: 0,
+            ordinal: 0,
+            kind: PostKind::Blocking,
+            posted_at: SimTime::ZERO,
+            forced: None,
+        }
+    }
+
+    #[test]
+    fn arrival_matches_first_posted() {
+        let mut e = MatchEngine::new();
+        assert!(e.on_post(recv(SrcSpec::Rank(Rank(9)), TagSpec::Any)).is_none());
+        assert!(e.on_post(recv(SrcSpec::Any, TagSpec::Any)).is_none());
+        let (r, m) = e.on_arrival(msg(1, 0, 0, 10)).expect("must match");
+        // First posted receive is src-specific and does not accept rank 1;
+        // the wildcard (second posted) wins.
+        assert_eq!(r.src, SrcSpec::Any);
+        assert_eq!(m.src, Rank(1));
+        assert_eq!(e.posted_len(), 1);
+    }
+
+    #[test]
+    fn post_matches_earliest_arrival() {
+        let mut e = MatchEngine::new();
+        assert!(e.on_arrival(msg(2, 0, 0, 20)).is_none());
+        assert!(e.on_arrival(msg(1, 0, 0, 30)).is_none());
+        let (_, m) = e
+            .on_post(recv(SrcSpec::Any, TagSpec::Any))
+            .expect("must match");
+        assert_eq!(m.src, Rank(2), "earliest arrival wins");
+        assert_eq!(e.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn tag_filtering() {
+        let mut e = MatchEngine::new();
+        e.on_arrival(msg(1, 7, 0, 10));
+        assert!(e
+            .on_post(recv(SrcSpec::Any, TagSpec::Tag(Tag(8))))
+            .is_none());
+        let got = e.on_post(recv(SrcSpec::Any, TagSpec::Tag(Tag(7))));
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn forced_match_skips_other_messages() {
+        let mut e = MatchEngine::new();
+        e.on_arrival(msg(1, 0, 0, 10));
+        e.on_arrival(msg(2, 0, 0, 11));
+        let mut r = recv(SrcSpec::Any, TagSpec::Any);
+        r.forced = Some((Rank(2), ChannelSeq(0)));
+        let (_, m) = e.on_post(r).expect("forced message is present");
+        assert_eq!(m.src, Rank(2));
+        assert_eq!(e.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn forced_match_blocks_until_target_arrives() {
+        let mut e = MatchEngine::new();
+        let mut r = recv(SrcSpec::Any, TagSpec::Any);
+        r.forced = Some((Rank(2), ChannelSeq(1)));
+        assert!(e.on_post(r).is_none());
+        // A non-target message parks.
+        assert!(e.on_arrival(msg(2, 0, 0, 5)).is_none());
+        assert_eq!(e.unexpected_len(), 1);
+        // The target matches.
+        let got = e.on_arrival(msg(2, 0, 1, 6));
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn channel_order_preserved_within_channel() {
+        // Two messages from the same source; the earlier-arriving (lower
+        // seq, by engine clamping) must match the first wildcard receive.
+        let mut e = MatchEngine::new();
+        e.on_arrival(msg(1, 0, 0, 10));
+        e.on_arrival(msg(1, 0, 1, 12));
+        let (_, m1) = e.on_post(recv(SrcSpec::Any, TagSpec::Any)).unwrap();
+        let (_, m2) = e.on_post(recv(SrcSpec::Any, TagSpec::Any)).unwrap();
+        assert_eq!(m1.seq, ChannelSeq(0));
+        assert_eq!(m2.seq, ChannelSeq(1));
+    }
+
+    #[test]
+    fn drain_unexpected_reports_leftovers() {
+        let mut e = MatchEngine::new();
+        e.on_arrival(msg(1, 0, 0, 10));
+        e.on_arrival(msg(2, 0, 0, 11));
+        let left: Vec<_> = e.drain_unexpected().collect();
+        assert_eq!(left.len(), 2);
+        assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn accepts_respects_src_and_tag_and_force() {
+        let m = msg(3, 5, 2, 0);
+        let mut r = recv(SrcSpec::Rank(Rank(3)), TagSpec::Tag(Tag(5)));
+        assert!(r.accepts(&m));
+        r.forced = Some((Rank(3), ChannelSeq(2)));
+        assert!(r.accepts(&m));
+        r.forced = Some((Rank(3), ChannelSeq(3)));
+        assert!(!r.accepts(&m));
+        let r2 = recv(SrcSpec::Rank(Rank(4)), TagSpec::Any);
+        assert!(!r2.accepts(&m));
+    }
+}

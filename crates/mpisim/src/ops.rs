@@ -1,0 +1,197 @@
+//! The operation IR executed by the simulator.
+//!
+//! A rank's program is a straight-line sequence of [`Op`]s produced by the
+//! builder in [`crate::program`]. The IR deliberately mirrors the MPI
+//! point-to-point subset the paper's mini-applications use: blocking and
+//! nonblocking send/receive, waits, and local compute.
+
+use crate::stack::CallStackId;
+use crate::types::{Rank, ReqSlot, SrcSpec, Tag, TagSpec};
+use serde::{Deserialize, Serialize};
+
+/// One operation in a rank's program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Blocking standard-mode send (modelled as buffered/eager: completes
+    /// locally as soon as the message is handed to the network).
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes (drives the bandwidth term of latency).
+        bytes: u64,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+    },
+    /// Synchronous (rendezvous) send: completes only when the receiver has
+    /// matched the message. `MPI_Ssend` is the send mode that can deadlock
+    /// head-to-head — included for the course's deadlock exercises.
+    Ssend {
+        /// Destination rank.
+        dst: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+    },
+    /// Nonblocking send; completes at the matching [`Op::Wait`].
+    Isend {
+        /// Destination rank.
+        dst: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+        /// Request slot the operation completes into.
+        req: ReqSlot,
+    },
+    /// Blocking receive; blocks until a matching message is delivered.
+    Recv {
+        /// Source specification (may be `MPI_ANY_SOURCE`).
+        src: SrcSpec,
+        /// Tag specification (may be `MPI_ANY_TAG`).
+        tag: TagSpec,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+    },
+    /// Nonblocking receive; posts the receive and continues.
+    Irecv {
+        /// Source specification (may be `MPI_ANY_SOURCE`).
+        src: SrcSpec,
+        /// Tag specification (may be `MPI_ANY_TAG`).
+        tag: TagSpec,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+        /// Request slot the operation completes into.
+        req: ReqSlot,
+    },
+    /// Block until one nonblocking request completes.
+    Wait {
+        /// The request to wait on.
+        req: ReqSlot,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+    },
+    /// Block until all listed nonblocking requests complete.
+    Waitall {
+        /// The requests to wait on.
+        reqs: Vec<ReqSlot>,
+        /// Call path that issued the operation.
+        stack: CallStackId,
+    },
+    /// Local computation for a fixed number of simulated nanoseconds.
+    Compute {
+        /// Duration of the computation.
+        duration_ns: u64,
+    },
+}
+
+impl Op {
+    /// The call path attributed to this op, if it is an MPI operation.
+    pub fn stack(&self) -> Option<CallStackId> {
+        match self {
+            Op::Send { stack, .. }
+            | Op::Ssend { stack, .. }
+            | Op::Isend { stack, .. }
+            | Op::Recv { stack, .. }
+            | Op::Irecv { stack, .. }
+            | Op::Wait { stack, .. }
+            | Op::Waitall { stack, .. } => Some(*stack),
+            Op::Compute { .. } => None,
+        }
+    }
+
+    /// True for operations that post a receive (blocking or not).
+    pub fn is_receive(&self) -> bool {
+        matches!(self, Op::Recv { .. } | Op::Irecv { .. })
+    }
+
+    /// True for operations that inject a message (blocking or not).
+    pub fn is_send(&self) -> bool {
+        matches!(self, Op::Send { .. } | Op::Ssend { .. } | Op::Isend { .. })
+    }
+
+    /// True for a receive whose source or tag is a wildcard — the op class
+    /// that admits message races.
+    pub fn is_wildcard_receive(&self) -> bool {
+        match self {
+            Op::Recv { src, tag, .. } | Op::Irecv { src, tag, .. } => {
+                src.is_wildcard() || tag.is_wildcard()
+            }
+            _ => false,
+        }
+    }
+
+    /// A short MPI-style mnemonic for the op ("MPI_Send", …).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Send { .. } => "MPI_Send",
+            Op::Ssend { .. } => "MPI_Ssend",
+            Op::Isend { .. } => "MPI_Isend",
+            Op::Recv { .. } => "MPI_Recv",
+            Op::Irecv { .. } => "MPI_Irecv",
+            Op::Wait { .. } => "MPI_Wait",
+            Op::Waitall { .. } => "MPI_Waitall",
+            Op::Compute { .. } => "compute",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send() -> Op {
+        Op::Send {
+            dst: Rank(1),
+            tag: Tag(0),
+            bytes: 8,
+            stack: CallStackId::UNKNOWN,
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(send().is_send());
+        assert!(!send().is_receive());
+        let r = Op::Recv {
+            src: SrcSpec::Any,
+            tag: TagSpec::Tag(Tag(0)),
+            stack: CallStackId::UNKNOWN,
+        };
+        assert!(r.is_receive());
+        assert!(r.is_wildcard_receive());
+        let r2 = Op::Recv {
+            src: SrcSpec::Rank(Rank(0)),
+            tag: TagSpec::Tag(Tag(0)),
+            stack: CallStackId::UNKNOWN,
+        };
+        assert!(!r2.is_wildcard_receive());
+        assert!(!send().is_wildcard_receive());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(send().mnemonic(), "MPI_Send");
+        assert_eq!(Op::Compute { duration_ns: 5 }.mnemonic(), "compute");
+        assert_eq!(
+            Op::Waitall {
+                reqs: vec![],
+                stack: CallStackId::UNKNOWN
+            }
+            .mnemonic(),
+            "MPI_Waitall"
+        );
+    }
+
+    #[test]
+    fn stack_attribution() {
+        assert_eq!(send().stack(), Some(CallStackId::UNKNOWN));
+        assert_eq!(Op::Compute { duration_ns: 1 }.stack(), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fundamental identifier and time types shared across the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An MPI process identifier (a *rank*).
+///
+/// Ranks are dense integers in `0..world_size`, exactly as in MPI's
+/// `MPI_COMM_WORLD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The rank as a `usize`, for indexing per-rank tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {}", self.0)
+    }
+}
+
+/// An MPI message tag.
+///
+/// Non-negative values are user tags; matching against [`TagSpec::Any`]
+/// mirrors `MPI_ANY_TAG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag(pub i32);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag {}", self.0)
+    }
+}
+
+/// Source specification of a receive: a concrete rank or `MPI_ANY_SOURCE`.
+///
+/// Wildcard receives are the fundamental enabler of message races and
+/// therefore of communication non-determinism (Cappello et al., ICCCN'10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SrcSpec {
+    /// Match only messages sent by this rank.
+    Rank(Rank),
+    /// Match a message from any sender (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl SrcSpec {
+    /// Does a message from `src` satisfy this specification?
+    #[inline]
+    pub fn matches(self, src: Rank) -> bool {
+        match self {
+            SrcSpec::Rank(r) => r == src,
+            SrcSpec::Any => true,
+        }
+    }
+
+    /// True when this is the `MPI_ANY_SOURCE` wildcard.
+    #[inline]
+    pub fn is_wildcard(self) -> bool {
+        matches!(self, SrcSpec::Any)
+    }
+}
+
+impl From<Rank> for SrcSpec {
+    fn from(r: Rank) -> Self {
+        SrcSpec::Rank(r)
+    }
+}
+
+/// Tag specification of a receive: a concrete tag or `MPI_ANY_TAG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagSpec {
+    /// Match only messages carrying this tag.
+    Tag(Tag),
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+}
+
+impl TagSpec {
+    /// Does a message with tag `tag` satisfy this specification?
+    #[inline]
+    pub fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSpec::Tag(t) => t == tag,
+            TagSpec::Any => true,
+        }
+    }
+
+    /// True when this is the `MPI_ANY_TAG` wildcard.
+    #[inline]
+    pub fn is_wildcard(self) -> bool {
+        matches!(self, TagSpec::Any)
+    }
+}
+
+impl From<Tag> for TagSpec {
+    fn from(t: Tag) -> Self {
+        TagSpec::Tag(t)
+    }
+}
+
+/// Simulated time in nanoseconds since the start of the execution.
+///
+/// `SimTime` is a logical clock driven by the discrete-event engine; it has
+/// no relation to wall-clock time. Saturating arithmetic keeps pathological
+/// configurations from panicking.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero: the instant every rank calls `init`.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The time in nanoseconds.
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time advanced by `ns` nanoseconds (saturating).
+    #[inline]
+    pub fn after(self, ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ns))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// A per-channel message sequence number.
+///
+/// Each ordered pair of ranks `(src, dst)` forms a *channel*; sends on a
+/// channel are numbered `0, 1, 2, …` in program order. The engine uses
+/// these numbers to enforce MPI's non-overtaking rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelSeq(pub u64);
+
+/// A slot in a rank's nonblocking-request table, as returned by
+/// `isend`/`irecv` and consumed by `wait`/`waitall`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReqSlot(pub u32);
+
+impl ReqSlot {
+    /// The slot as a `usize`, for indexing the request table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn src_spec_matching() {
+        assert!(SrcSpec::Any.matches(Rank(3)));
+        assert!(SrcSpec::Rank(Rank(3)).matches(Rank(3)));
+        assert!(!SrcSpec::Rank(Rank(3)).matches(Rank(4)));
+        assert!(SrcSpec::Any.is_wildcard());
+        assert!(!SrcSpec::Rank(Rank(0)).is_wildcard());
+    }
+
+    #[test]
+    fn tag_spec_matching() {
+        assert!(TagSpec::Any.matches(Tag(17)));
+        assert!(TagSpec::Tag(Tag(17)).matches(Tag(17)));
+        assert!(!TagSpec::Tag(Tag(17)).matches(Tag(18)));
+        assert!(TagSpec::Any.is_wildcard());
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let t = SimTime(100);
+        assert_eq!(t.after(50), SimTime(150));
+        assert_eq!(t.max(SimTime(120)), SimTime(120));
+        assert_eq!(SimTime(u64::MAX).after(1), SimTime(u64::MAX));
+        assert_eq!(SimTime::ZERO.nanos(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let s: SrcSpec = Rank(2).into();
+        assert_eq!(s, SrcSpec::Rank(Rank(2)));
+        let t: TagSpec = Tag(9).into();
+        assert_eq!(t, TagSpec::Tag(Tag(9)));
+        assert_eq!(Rank(7).index(), 7);
+        assert_eq!(ReqSlot(5).index(), 5);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Rank(1).to_string(), "rank 1");
+        assert_eq!(Tag(5).to_string(), "tag 5");
+        assert_eq!(SimTime(42).to_string(), "42ns");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the simulator's core invariants.
+//!
+//! Strategy: generate random-but-balanced communication programs (every
+//! message sent has a wildcard receive posted at its destination), run them
+//! under random ND settings and seeds, and check invariants that must hold
+//! for *every* MPI-legal execution.
+
+use anacin_mpisim::prelude::*;
+use proptest::prelude::*;
+
+/// A randomly generated balanced program: a list of (src, dst) message
+/// directives; each dst posts one wildcard receive per inbound message.
+fn build_program(world: u32, msgs: &[(u32, u32)]) -> Program {
+    let mut b = ProgramBuilder::new(world);
+    let mut inbound = vec![0u32; world as usize];
+    for &(src, dst) in msgs {
+        b.rank(Rank(src)).send(Rank(dst), Tag(0), 8);
+        inbound[dst as usize] += 1;
+    }
+    for (r, &n) in inbound.iter().enumerate() {
+        for _ in 0..n {
+            b.rank(Rank(r as u32)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+    }
+    b.build()
+}
+
+fn msgs_strategy(world: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        (0..world, 0..world).prop_filter("no self sends", |(s, d)| s != d),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every balanced program terminates without deadlock, delivers every
+    /// message, and produces an internally consistent trace.
+    #[test]
+    fn balanced_programs_terminate_and_validate(
+        msgs in msgs_strategy(6),
+        nd in 0.0f64..=100.0,
+        seed in 0u64..1000,
+    ) {
+        let p = build_program(6, &msgs);
+        prop_assert!(p.check_balance().is_ok());
+        let t = simulate(&p, &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        prop_assert_eq!(t.meta.messages as usize, msgs.len());
+        prop_assert_eq!(t.meta.unmatched_messages, 0);
+        let checked = t.validate().unwrap();
+        prop_assert_eq!(checked, msgs.len());
+    }
+
+    /// The same seed always reproduces the same trace, at any ND level.
+    #[test]
+    fn same_seed_is_reproducible(
+        msgs in msgs_strategy(5),
+        nd in 0.0f64..=100.0,
+        seed in 0u64..1000,
+    ) {
+        let p = build_program(5, &msgs);
+        let c = SimConfig::with_nd_percent(nd, seed);
+        let t1 = simulate(&p, &c).unwrap();
+        let t2 = simulate(&p, &c).unwrap();
+        for r in 0..5 {
+            prop_assert_eq!(t1.rank_events(Rank(r)), t2.rank_events(Rank(r)));
+        }
+    }
+
+    /// With 0% ND the trace is identical for every seed.
+    #[test]
+    fn zero_nd_is_seed_independent(
+        msgs in msgs_strategy(5),
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+    ) {
+        let p = build_program(5, &msgs);
+        let ta = simulate(&p, &SimConfig { network: NetworkConfig::deterministic(), seed: seed_a }).unwrap();
+        let tb = simulate(&p, &SimConfig { network: NetworkConfig::deterministic(), seed: seed_b }).unwrap();
+        for r in 0..5 {
+            prop_assert_eq!(ta.rank_events(Rank(r)), tb.rank_events(Rank(r)));
+        }
+    }
+
+    /// Per-rank event times are monotonically non-decreasing in program
+    /// order (logical precedence respects simulated time).
+    #[test]
+    fn rank_event_times_monotone(
+        msgs in msgs_strategy(6),
+        nd in 0.0f64..=100.0,
+        seed in 0u64..500,
+    ) {
+        let p = build_program(6, &msgs);
+        let t = simulate(&p, &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        for r in 0..6 {
+            let evs = t.rank_events(Rank(r));
+            for w in evs.windows(2) {
+                prop_assert!(w[0].time <= w[1].time,
+                    "rank {r}: {:?} then {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// Causality: every receive completes at or after its matched send.
+    #[test]
+    fn receives_follow_their_sends(
+        msgs in msgs_strategy(6),
+        nd in 0.0f64..=100.0,
+        seed in 0u64..500,
+    ) {
+        let p = build_program(6, &msgs);
+        let t = simulate(&p, &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        for (_, e) in t.iter() {
+            if let EventKind::Recv { send_event, .. } = e.kind {
+                let s = t.event(send_event);
+                prop_assert!(s.time <= e.time, "recv at {} before send at {}", e.time, s.time);
+            }
+        }
+    }
+
+    /// Non-overtaking: for each channel (src, dst), matched channel
+    /// sequence numbers appear in increasing order along the receiver's
+    /// program order.
+    #[test]
+    fn channel_sequences_monotone_per_channel(
+        msgs in msgs_strategy(6),
+        nd in 0.0f64..=100.0,
+        seed in 0u64..500,
+    ) {
+        let p = build_program(6, &msgs);
+        let t = simulate(&p, &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        for r in 0..6u32 {
+            let mut last: std::collections::HashMap<Rank, u64> = Default::default();
+            for e in t.rank_events(Rank(r)) {
+                if let EventKind::Recv { src, seq, .. } = e.kind {
+                    if let Some(&prev) = last.get(&src) {
+                        prop_assert!(seq.0 > prev,
+                            "rank {r} matched seq {} from {src} after {}", seq.0, prev);
+                    }
+                    last.insert(src, seq.0);
+                }
+            }
+        }
+    }
+
+    /// Replay pins every wildcard match: replaying a recorded run under a
+    /// different seed reproduces all match orders exactly.
+    #[test]
+    fn replay_reproduces_match_orders(
+        msgs in msgs_strategy(5),
+        record_seed in 0u64..100,
+        replay_seed in 100u64..200,
+    ) {
+        let p = build_program(5, &msgs);
+        let recorded = simulate(&p, &SimConfig::with_nd_percent(100.0, record_seed)).unwrap();
+        let rec = MatchRecord::from_trace(&recorded);
+        let replayed = simulate_replay(
+            &p,
+            &SimConfig::with_nd_percent(100.0, replay_seed),
+            &rec,
+        ).unwrap();
+        for r in 0..5 {
+            prop_assert_eq!(
+                recorded.match_order(Rank(r)),
+                replayed.match_order(Rank(r))
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Synchronous-send (rendezvous) semantics tests.
+
+use anacin_mpisim::engine::SimError;
+use anacin_mpisim::prelude::*;
+
+#[test]
+fn ssend_completes_when_receiver_posts() {
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8).compute(10);
+    b.rank(Rank(1)).recv(Rank(0), Tag(0).into());
+    let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+    assert_eq!(t.meta.unmatched_messages, 0);
+    t.validate().unwrap();
+}
+
+#[test]
+fn ssend_blocks_until_late_receiver_arrives() {
+    // The receiver computes for a long time before posting; the sender's
+    // finalize must be held back past that computation (eager Send would
+    // finish immediately).
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8);
+    b.rank(Rank(1)).compute(1_000_000).recv(Rank(0), Tag(0).into());
+    let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+    let sender_final = t.rank_events(Rank(0)).last().unwrap().time;
+    assert!(
+        sender_final >= SimTime(1_000_000),
+        "ssend returned before the receiver matched: {sender_final}"
+    );
+    // Eager comparison.
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).send(Rank(1), Tag(0), 8);
+    b.rank(Rank(1)).compute(1_000_000).recv(Rank(0), Tag(0).into());
+    let t2 = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+    let eager_final = t2.rank_events(Rank(0)).last().unwrap().time;
+    assert!(eager_final < SimTime(1_000_000));
+}
+
+#[test]
+fn head_to_head_ssend_deadlocks() {
+    // The textbook unsafe exchange: both ranks ssend first.
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8).recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1)).ssend(Rank(0), Tag(0), 8).recv(Rank(0), Tag(0).into());
+    match simulate(&b.build(), &SimConfig::deterministic()) {
+        Err(SimError::Deadlock(r)) => {
+            assert_eq!(r.blocked.len(), 2);
+            assert_eq!(r.unmatched_messages, 2);
+            assert!(r.to_string().contains("Ssend"));
+        }
+        other => panic!("expected the classic deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn sendrecv_exchange_is_deadlock_free() {
+    // The fix for the head-to-head pattern.
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).sendrecv(Rank(1), Rank(1), Tag(0), 8);
+    b.rank(Rank(1)).sendrecv(Rank(0), Rank(0), Tag(0), 8);
+    let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+    assert_eq!(t.meta.unmatched_messages, 0);
+    t.validate().unwrap();
+}
+
+#[test]
+fn ssend_ring_completes() {
+    // Ring where each rank receives before ssending onward: no deadlock.
+    let n = 5u32;
+    let mut b = ProgramBuilder::new(n);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 1).recv(Rank(n - 1), Tag(0).into());
+    for r in 1..n {
+        let next = Rank((r + 1) % n);
+        b.rank(Rank(r)).recv(Rank(r - 1), Tag(0).into()).ssend(next, Tag(0), 1);
+    }
+    let t = simulate(&b.build(), &SimConfig::with_nd_percent(100.0, 3)).unwrap();
+    assert_eq!(t.meta.messages, n as u64);
+    assert_eq!(t.meta.unmatched_messages, 0);
+}
+
+#[test]
+fn ssend_with_wildcard_receivers_and_nd_is_reproducible() {
+    let build = || {
+        let mut b = ProgramBuilder::new(4);
+        for r in 1..4 {
+            b.rank(Rank(r)).ssend(Rank(0), Tag(0), 4);
+        }
+        for _ in 1..4 {
+            b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+        b.build()
+    };
+    let c = SimConfig::with_nd_percent(100.0, 11);
+    let t1 = simulate(&build(), &c).unwrap();
+    let t2 = simulate(&build(), &c).unwrap();
+    assert_eq!(t1.match_order(Rank(0)), t2.match_order(Rank(0)));
+    t1.validate().unwrap();
+}
+
+#[test]
+fn ssend_to_nonblocking_receiver() {
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8);
+    {
+        let mut r1 = b.rank(Rank(1));
+        let r = r1.irecv_any(TagSpec::Any);
+        r1.compute(500).wait(r);
+    }
+    let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+    assert_eq!(t.meta.unmatched_messages, 0);
+    t.validate().unwrap();
+}
+
+#[test]
+fn self_ssend_deadlocks() {
+    // A rank that ssends to itself before posting the receive can never
+    // proceed (rendezvous needs the matching receive).
+    let mut b = ProgramBuilder::new(1);
+    b.rank(Rank(0)).ssend(Rank(0), Tag(0), 1).recv(Rank(0), Tag(0).into());
+    assert!(matches!(
+        simulate(&b.build(), &SimConfig::deterministic()),
+        Err(SimError::Deadlock(_))
+    ));
+}

@@ -1,0 +1,156 @@
+//! Iterative drift: how numerical irreproducibility *accumulates* over
+//! iterations — the quantitative companion to the paper's Use Case 2
+//! observation that "by increasing the number of iterations … they may
+//! accumulate substantial differences in the numerical results and
+//! ultimately different scientific findings" (§III-B2).
+//!
+//! Model: an iterative solver in which every iteration gathers partial results
+//! in arrival order, reduces them sequentially in f32, and feeds the sum
+//! into the next iteration's contributions (a contraction toward a fixed
+//! point plus the gathered term). Run-to-run match-order differences
+//! perturb every iteration, so the spread of the final state grows with
+//! the iteration count.
+
+use crate::experiment::contributions;
+use crate::sum::sequential_sum;
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Drift experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftExperiment {
+    /// Ranks (rank 0 reduces).
+    pub procs: u32,
+    /// Iterations of the gather-reduce loop within one execution.
+    pub iterations: u32,
+    /// Injected ND percentage.
+    pub nd_percent: f64,
+    /// Number of runs.
+    pub runs: u32,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for DriftExperiment {
+    fn default() -> Self {
+        DriftExperiment {
+            procs: 12,
+            iterations: 4,
+            nd_percent: 100.0,
+            runs: 15,
+            seed: 0xD81F7,
+        }
+    }
+}
+
+/// The result: final solver states per run, and their spread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Final state of each run.
+    pub finals: Vec<f32>,
+    /// max − min over runs.
+    pub spread: f32,
+    /// Number of distinct final states.
+    pub distinct: usize,
+}
+
+/// Run the drift experiment at its configured iteration count.
+pub fn run(config: &DriftExperiment) -> DriftReport {
+    assert!(config.procs >= 2 && config.iterations >= 1);
+    let app = MiniAppConfig::with_procs(config.procs).iterations(config.iterations);
+    let program = Pattern::MessageRace.build(&app);
+    let values = contributions(config.procs as usize - 1, config.seed, 4.0);
+    let mut finals = Vec::with_capacity(config.runs as usize);
+    for run_i in 0..config.runs {
+        let sim = SimConfig::with_nd_percent(config.nd_percent, config.seed + 1 + run_i as u64);
+        let trace = simulate(&program, &sim).expect("race completes");
+        // The race pattern posts (procs-1) receives per iteration; chunk
+        // the root's match order by iteration.
+        let order = trace.match_order(Rank(0));
+        let per_iter = config.procs as usize - 1;
+        let mut state = 1.0f32;
+        for chunk in order.chunks(per_iter) {
+            let arrived: Vec<f32> = chunk
+                .iter()
+                .map(|r| values[r.index() - 1] * state)
+                .collect();
+            let gathered = sequential_sum(&arrived);
+            // Contractive update keeps the state bounded while letting
+            // order-dependent roundoff persist into the next iteration.
+            state = 0.5 * state + 1e-3 * gathered + 1.0;
+        }
+        finals.push(state);
+    }
+    let mut bits: Vec<u32> = finals.iter().map(|x| x.to_bits()).collect();
+    bits.sort_unstable();
+    bits.dedup();
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &x in &finals {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    DriftReport {
+        spread: if finals.is_empty() { 0.0 } else { hi - lo },
+        distinct: bits.len(),
+        finals,
+    }
+}
+
+/// Spread as a function of iteration count (the Fig-6 analogue for
+/// numerics): returns `(iterations, spread)` pairs.
+pub fn sweep_iterations(base: &DriftExperiment, iterations: &[u32]) -> Vec<(u32, f32)> {
+    iterations
+        .iter()
+        .map(|&it| {
+            let mut cfg = base.clone();
+            cfg.iterations = it;
+            (it, run(&cfg).spread)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_exists_under_nd() {
+        let r = run(&DriftExperiment::default());
+        assert!(r.distinct > 1, "finals: {:?}", r.finals);
+        assert!(r.spread > 0.0);
+        assert!(r.finals.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn no_drift_at_zero_nd() {
+        let r = run(&DriftExperiment {
+            nd_percent: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(r.distinct, 1);
+        assert_eq!(r.spread, 0.0);
+    }
+
+    #[test]
+    fn drift_accumulates_with_iterations() {
+        // A single iteration's order-dependent roundoff can round away
+        // entirely (the 1e-3 coupling is below one ulp of the state);
+        // with more iterations perturbations compound and must become
+        // visible, and never shrink below the single-iteration level.
+        let sweep = sweep_iterations(&DriftExperiment::default(), &[1, 8]);
+        let (one, eight) = (sweep[0].1, sweep[1].1);
+        assert!(eight > 0.0, "8 iterations must drift");
+        assert!(
+            eight >= one,
+            "drift shrank with iterations: 1 iter {one}, 8 iters {eight}"
+        );
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let a = run(&DriftExperiment::default());
+        let b = run(&DriftExperiment::default());
+        assert_eq!(a, b);
+    }
+}

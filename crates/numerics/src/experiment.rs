@@ -1,0 +1,223 @@
+//! The reduction-reproducibility experiment.
+//!
+//! Workers (ranks 1..n) each contribute one value; the root accumulates
+//! them **in message arrival order** — the naive wildcard-receive loop
+//! found in real codes. We run the execution many times under injected
+//! non-determinism, extract the root's match order from each trace, and
+//! reduce the same contributions in that order with several algorithms.
+//! Order-sensitive reductions produce *different numerical results across
+//! runs of the same program on the same inputs*, which is exactly how
+//! Enzo produced different galactic halos (paper §I).
+
+use crate::sum::Reduction;
+use anacin_miniapps::{MiniAppConfig, Pattern};
+use anacin_mpisim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionExperiment {
+    /// Number of ranks (rank 0 reduces, 1..n contribute).
+    pub procs: u32,
+    /// Injected non-determinism percentage.
+    pub nd_percent: f64,
+    /// Number of runs.
+    pub runs: u32,
+    /// Seed for both the contribution values and the run seeds.
+    pub seed: u64,
+    /// Exponent range of contributions: values are drawn log-uniform in
+    /// `10^-range ..= 10^range`, signed. Wide ranges amplify cancellation
+    /// and thus order sensitivity.
+    pub magnitude_range: f64,
+}
+
+impl Default for ReductionExperiment {
+    fn default() -> Self {
+        ReductionExperiment {
+            procs: 16,
+            nd_percent: 100.0,
+            runs: 20,
+            seed: 0xF10A7,
+            magnitude_range: 6.0,
+        }
+    }
+}
+
+/// Per-algorithm outcome over all runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionOutcome {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The result of each run, in run order.
+    pub results: Vec<f32>,
+    /// Number of distinct results across runs.
+    pub distinct: usize,
+    /// max − min over the runs (the reproducibility gap).
+    pub spread: f32,
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionReport {
+    /// The contributions of ranks 1..n (rank order).
+    pub contributions: Vec<f32>,
+    /// One outcome per algorithm, in [`Reduction::ALL`] order.
+    pub outcomes: Vec<ReductionOutcome>,
+    /// Number of distinct match orders observed at the root.
+    pub distinct_orders: usize,
+}
+
+impl ReductionReport {
+    /// The outcome of one algorithm.
+    pub fn outcome(&self, r: Reduction) -> &ReductionOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.algorithm == r.name())
+            .expect("all algorithms present")
+    }
+}
+
+/// Draw the contributions: signed, log-uniform magnitudes.
+pub fn contributions(n: usize, seed: u64, magnitude_range: f64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let exp = rng.gen_range(-magnitude_range..=magnitude_range);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            (sign * 10f64.powf(exp)) as f32
+        })
+        .collect()
+}
+
+/// Run the experiment.
+pub fn run(config: &ReductionExperiment) -> ReductionReport {
+    assert!(config.procs >= 2, "need at least one contributor");
+    let values = contributions(
+        config.procs as usize - 1,
+        config.seed,
+        config.magnitude_range,
+    );
+    let program = Pattern::MessageRace.build(&MiniAppConfig::with_procs(config.procs));
+    let mut orders: BTreeMap<Vec<u32>, u32> = BTreeMap::new();
+    let mut per_alg: Vec<Vec<f32>> = vec![Vec::new(); Reduction::ALL.len()];
+    for run in 0..config.runs {
+        let sim = SimConfig::with_nd_percent(config.nd_percent, config.seed + 1 + run as u64);
+        let trace = simulate(&program, &sim).expect("race completes");
+        let order = trace.match_order(Rank(0));
+        *orders
+            .entry(order.iter().map(|r| r.0).collect())
+            .or_insert(0) += 1;
+        // Contributions arrive in match order; rank r's value is
+        // values[r - 1].
+        let arrived: Vec<f32> = order.iter().map(|r| values[r.index() - 1]).collect();
+        for (i, alg) in Reduction::ALL.iter().enumerate() {
+            per_alg[i].push(alg.apply(&arrived));
+        }
+    }
+    let outcomes = Reduction::ALL
+        .iter()
+        .zip(per_alg)
+        .map(|(alg, results)| {
+            let mut bits: Vec<u32> = results.iter().map(|x| x.to_bits()).collect();
+            bits.sort_unstable();
+            bits.dedup();
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &x in &results {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            ReductionOutcome {
+                algorithm: alg.name().to_string(),
+                distinct: bits.len(),
+                spread: if results.is_empty() { 0.0 } else { hi - lo },
+                results,
+            }
+        })
+        .collect();
+    ReductionReport {
+        contributions: values,
+        outcomes,
+        distinct_orders: orders.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ReductionExperiment {
+        ReductionExperiment {
+            procs: 10,
+            runs: 15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn nondeterministic_arrival_changes_sequential_sums() {
+        let report = run(&small());
+        assert!(report.distinct_orders > 1, "need actual races");
+        let seq = report.outcome(Reduction::Sequential);
+        assert!(
+            seq.distinct > 1,
+            "sequential reduction should be irreproducible, got {:?}",
+            seq.results
+        );
+        assert!(seq.spread > 0.0);
+    }
+
+    #[test]
+    fn sorted_reduction_is_bitwise_reproducible() {
+        let report = run(&small());
+        let sorted = report.outcome(Reduction::Sorted);
+        assert_eq!(sorted.distinct, 1, "{:?}", sorted.results);
+        assert_eq!(sorted.spread, 0.0);
+    }
+
+    #[test]
+    fn compensated_sums_tighten_the_spread() {
+        let report = run(&small());
+        let seq = report.outcome(Reduction::Sequential);
+        let kahan = report.outcome(Reduction::Kahan);
+        assert!(
+            kahan.spread <= seq.spread,
+            "kahan {} vs sequential {}",
+            kahan.spread,
+            seq.spread
+        );
+    }
+
+    #[test]
+    fn zero_nd_is_fully_reproducible() {
+        let report = run(&ReductionExperiment {
+            nd_percent: 0.0,
+            ..small()
+        });
+        assert_eq!(report.distinct_orders, 1);
+        for o in &report.outcomes {
+            assert_eq!(o.distinct, 1, "{}", o.algorithm);
+        }
+    }
+
+    #[test]
+    fn experiment_is_seed_reproducible() {
+        let a = run(&small());
+        let b = run(&small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contributions_deterministic_and_in_range() {
+        let a = contributions(8, 3, 4.0);
+        let b = contributions(8, 3, 4.0);
+        assert_eq!(a, b);
+        for &x in &a {
+            let m = x.abs() as f64;
+            assert!((1e-4..=1e4).contains(&m), "{x}");
+        }
+        assert_ne!(contributions(8, 4, 4.0), a);
+    }
+}

@@ -1,0 +1,107 @@
+//! Bootstrap confidence intervals (percentile method).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate (statistic of the original sample).
+    pub point: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Percentile-bootstrap CI of `statistic` over `sample`.
+///
+/// # Panics
+/// Panics on an empty sample, `resamples == 0`, or `level` outside (0, 1).
+pub fn bootstrap_ci(
+    sample: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(!sample.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level in (0,1)");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = sample.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = sample[rng.gen_range(0..n)];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("no NaN statistics"));
+    let alpha = 1.0 - level;
+    ConfidenceInterval {
+        lo: crate::quantile::quantile_sorted(&stats, alpha / 2.0),
+        point: statistic(sample),
+        hi: crate::quantile::quantile_sorted(&stats, 1.0 - alpha / 2.0),
+        level,
+    }
+}
+
+/// Convenience: 95% CI of the mean.
+pub fn mean_ci(sample: &[f64], seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(
+        sample,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        2_000,
+        0.95,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_point() {
+        let sample: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let ci = mean_ci(&sample, 1);
+        assert!(ci.lo <= ci.point);
+        assert!(ci.point <= ci.hi);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = mean_ci(&sample, 9);
+        let b = mean_ci(&sample, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_for_constant_sample() {
+        let sample = [4.0; 30];
+        let ci = mean_ci(&sample, 0);
+        assert_eq!(ci.lo, 4.0);
+        assert_eq!(ci.hi, 4.0);
+    }
+
+    #[test]
+    fn wider_for_more_variance() {
+        let tight: Vec<f64> = (0..40).map(|i| 10.0 + 0.01 * (i % 3) as f64).collect();
+        let wide: Vec<f64> = (0..40).map(|i| 10.0 + 3.0 * (i % 3) as f64).collect();
+        let ct = mean_ci(&tight, 2);
+        let cw = mean_ci(&wide, 2);
+        assert!(cw.hi - cw.lo > ct.hi - ct.lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        mean_ci(&[], 0);
+    }
+}

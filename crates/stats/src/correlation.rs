@@ -1,0 +1,117 @@
+//! Pearson and Spearman correlation.
+//!
+//! Spearman's ρ is the workhorse of the Figure-7 shape check: the paper's
+//! claim is a *monotone* relationship between injected ND percentage and
+//! measured kernel distance, which is exactly rank correlation.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns 0 when either sample is constant (undefined correlation).
+///
+/// # Panics
+/// Panics when lengths differ or are < 2.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must be paired");
+    assert!(x.len() >= 2, "need at least two pairs");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx).powi(2);
+        syy += (b - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+/// Fractional ranks with ties averaged (midranks).
+pub fn ranks(sample: &[f64]) -> Vec<f64> {
+    let n = sample.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| sample[a].partial_cmp(&sample[b]).expect("no NaN"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && sample[idx[j + 1]] == sample[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on midranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_inverse() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [9.0, 5.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_spearman_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn constant_sample_yields_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(spearman(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn midranks_for_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r2 = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r2, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

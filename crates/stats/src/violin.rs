@@ -1,0 +1,74 @@
+//! Violin-plot summaries.
+//!
+//! The paper's intermediate/advanced figures are violin plots of kernel
+//! distance samples ("a violin plot of the sample of kernel distances
+//! calculated for the input MPI application", §II-B). A
+//! [`ViolinSummary`] holds everything a renderer needs: the five-number
+//! summary plus the KDE body.
+
+use crate::describe::Summary;
+use crate::kde::{kde_curve, KdeCurve};
+use serde::{Deserialize, Serialize};
+
+/// The data behind one violin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolinSummary {
+    /// Label shown under the violin (e.g. "32 procs").
+    pub label: String,
+    /// Five-number summary of the sample.
+    pub summary: Summary,
+    /// KDE grid positions (the violin's vertical axis).
+    pub kde_xs: Vec<f64>,
+    /// KDE densities (the violin's half-widths before scaling).
+    pub kde_densities: Vec<f64>,
+    /// The raw sample (kept for downstream tests/analyses).
+    pub sample: Vec<f64>,
+}
+
+impl ViolinSummary {
+    /// Build a violin from a sample. Returns `None` on an empty sample.
+    pub fn from_sample(label: impl Into<String>, sample: &[f64]) -> Option<ViolinSummary> {
+        let summary = Summary::of(sample)?;
+        let KdeCurve { xs, densities, .. } = kde_curve(sample, 128);
+        Some(ViolinSummary {
+            label: label.into(),
+            summary,
+            kde_xs: xs,
+            kde_densities: densities,
+            sample: sample.to_vec(),
+        })
+    }
+
+    /// Peak density (for width normalisation across a violin family).
+    pub fn peak_density(&self) -> f64 {
+        self.kde_densities.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sample_populates_everything() {
+        let v = ViolinSummary::from_sample("16 procs", &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(v.label, "16 procs");
+        assert_eq!(v.summary.n, 4);
+        assert_eq!(v.kde_xs.len(), 128);
+        assert_eq!(v.kde_densities.len(), 128);
+        assert!(v.peak_density() > 0.0);
+        assert_eq!(v.sample.len(), 4);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(ViolinSummary::from_sample("x", &[]).is_none());
+    }
+
+    #[test]
+    fn medians_order_violins() {
+        let lo = ViolinSummary::from_sample("lo", &[1.0, 1.1, 0.9]).unwrap();
+        let hi = ViolinSummary::from_sample("hi", &[5.0, 5.2, 4.8]).unwrap();
+        assert!(hi.summary.median > lo.summary.median);
+    }
+}

@@ -1,0 +1,222 @@
+//! Terminal renderers: event-graph lanes, violins, bars, and series.
+//!
+//! Every paper figure has an ASCII twin so the course works over ssh with
+//! no display — the textual analogue of the ANACIN-X Jupyter notebook.
+
+use anacin_event_graph::{EdgeKind, EventGraph, NodeKind};
+use anacin_mpisim::types::Rank;
+use anacin_stats::prelude::*;
+use std::fmt::Write as _;
+
+/// Glyph for a node in the lane view: `o` start/end, `S` send, `R` recv.
+fn glyph(kind: &NodeKind) -> char {
+    match kind {
+        NodeKind::Init | NodeKind::Finalize => 'o',
+        NodeKind::Send { .. } => 'S',
+        NodeKind::Recv { .. } => 'R',
+    }
+}
+
+/// Render an event graph as one lane per rank plus a message-edge list.
+///
+/// ```text
+/// rank 0: o--R--R--R--o
+/// rank 1: o--S--o
+/// messages:
+///   rank 1 S#1 -> rank 0 R#1
+/// ```
+pub fn event_graph_lanes(g: &EventGraph) -> String {
+    let mut s = String::new();
+    for r in 0..g.world_size() {
+        let _ = write!(s, "rank {r}: ");
+        for (i, id) in g.rank_nodes(Rank(r)).enumerate() {
+            if i > 0 {
+                s.push_str("--");
+            }
+            s.push(glyph(&g.node(id).kind));
+        }
+        s.push('\n');
+    }
+    s.push_str("messages:\n");
+    for (a, b, kind) in g.edges() {
+        if kind == EdgeKind::Message {
+            let na = g.node(a);
+            let nb = g.node(b);
+            let _ = writeln!(
+                s,
+                "  rank {} {}#{} -> rank {} {}#{}",
+                na.rank.0,
+                glyph(&na.kind),
+                na.rank_idx,
+                nb.rank.0,
+                glyph(&nb.kind),
+                nb.rank_idx
+            );
+        }
+    }
+    s
+}
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn density_strip(densities: &[f64], width: usize) -> String {
+    if densities.is_empty() {
+        return String::new();
+    }
+    let peak = densities.iter().copied().fold(0.0, f64::max);
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        let pos = i as f64 / (width - 1).max(1) as f64 * (densities.len() - 1) as f64;
+        let d = densities[pos.round() as usize];
+        if peak <= 0.0 {
+            out.push(' ');
+        } else {
+            let level = ((d / peak) * (BLOCKS.len() - 1) as f64).round() as usize;
+            out.push(BLOCKS[level.min(BLOCKS.len() - 1)]);
+        }
+    }
+    out
+}
+
+/// Render a family of violins, one per line, on a shared value axis.
+///
+/// ```text
+/// 32 procs  |▁▂▅█▅▂▁|  median=12.34  iqr=1.20  n=190
+/// ```
+pub fn violins(violins: &[ViolinSummary], width: usize) -> String {
+    let mut s = String::new();
+    let label_w = violins.iter().map(|v| v.label.len()).max().unwrap_or(0);
+    for v in violins {
+        let strip = density_strip(&v.kde_densities, width);
+        let _ = writeln!(
+            s,
+            "{:<label_w$}  |{}|  median={:.4}  iqr={:.4}  n={}",
+            v.label,
+            strip,
+            v.summary.median,
+            v.summary.iqr(),
+            v.summary.n,
+        );
+    }
+    s
+}
+
+/// Render labelled horizontal bars (e.g. callstack frequencies), scaled to
+/// the largest value.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let peak = items.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut s = String::new();
+    for (label, v) in items {
+        let n = if peak > 0.0 {
+            ((v / peak) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            s,
+            "{:<label_w$}  {:<width$}  {:.4}",
+            label,
+            "#".repeat(n),
+            v,
+        );
+    }
+    s
+}
+
+/// Render an `(x, y)` series as an aligned two-column table with a spark
+/// column (good enough to eyeball the Figure-7 trend in a terminal).
+pub fn series_table(series: &[(f64, f64)], x_name: &str, y_name: &str) -> String {
+    let peak = series.iter().map(|(_, y)| *y).fold(0.0, f64::max);
+    let mut s = String::new();
+    let _ = writeln!(s, "{x_name:>12}  {y_name:>14}");
+    for (x, y) in series {
+        let n = if peak > 0.0 {
+            ((y / peak) * 40.0).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(s, "{x:>12}  {y:>14.4}  {}", "*".repeat(n));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    fn race_graph() -> EventGraph {
+        let mut b = ProgramBuilder::new(4);
+        for r in 1..4 {
+            b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+        }
+        for _ in 1..4 {
+            b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+        }
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn lanes_contain_every_rank_and_message() {
+        let g = race_graph();
+        let s = event_graph_lanes(&g);
+        for r in 0..4 {
+            assert!(s.contains(&format!("rank {r}: ")));
+        }
+        assert_eq!(s.matches(" -> ").count(), 3);
+        // Rank 0's lane: o then 3 R's then o.
+        let lane0 = s.lines().next().unwrap();
+        assert_eq!(lane0, "rank 0: o--R--R--R--o");
+    }
+
+    #[test]
+    fn violin_strip_renders() {
+        let v1 = ViolinSummary::from_sample("a", &[1.0, 2.0, 3.0]).unwrap();
+        let v2 = ViolinSummary::from_sample("bb", &[10.0, 12.0]).unwrap();
+        let s = violins(&[v1, v2], 20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("median="));
+        assert!(s.contains("|"));
+        // Labels aligned to the longer label.
+        assert!(s.starts_with("a "));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_peak() {
+        let s = bar_chart(
+            &[("big".to_string(), 1.0), ("half".to_string(), 0.5)],
+            10,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let s = bar_chart(&[("z".to_string(), 0.0)], 10);
+        assert_eq!(s.lines().next().unwrap().matches('#').count(), 0);
+    }
+
+    #[test]
+    fn series_table_rows() {
+        let s = series_table(&[(0.0, 0.0), (50.0, 2.0), (100.0, 4.0)], "nd%", "distance");
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("nd%"));
+        // Monotone star counts.
+        let stars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('*').count())
+            .collect();
+        assert!(stars[0] <= stars[1] && stars[1] <= stars[2]);
+    }
+
+    #[test]
+    fn density_strip_handles_flat_zero() {
+        assert_eq!(density_strip(&[0.0, 0.0], 4), "    ");
+        assert_eq!(density_strip(&[], 4), "");
+    }
+}

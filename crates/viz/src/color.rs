@@ -1,0 +1,45 @@
+//! The figure palette.
+//!
+//! The paper's event-graph figures use a fixed colour code: "Green circles
+//! correspond to the start or end of a process; blue circles correspond to
+//! sending a message; and red circles correspond to receiving a message."
+
+use anacin_event_graph::NodeKind;
+
+/// Fill colour of an event-graph node (paper convention).
+pub fn node_fill(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Init | NodeKind::Finalize => "#2e8b57", // green
+        NodeKind::Send { .. } => "#1f77b4",               // blue
+        NodeKind::Recv { .. } => "#d62728",               // red
+    }
+}
+
+/// Violin body fill.
+pub const VIOLIN_FILL: &str = "#7f9ec9";
+/// Violin median marker.
+pub const MEDIAN_STROKE: &str = "#222222";
+/// Bar fill for callstack charts.
+pub const BAR_FILL: &str = "#1f77b4";
+/// Chart axis/frame colour.
+pub const AXIS_STROKE: &str = "#444444";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::types::Rank;
+
+    #[test]
+    fn paper_colour_convention() {
+        assert_eq!(node_fill(&NodeKind::Init), "#2e8b57");
+        assert_eq!(node_fill(&NodeKind::Finalize), "#2e8b57");
+        assert_eq!(node_fill(&NodeKind::Send { dst: Rank(0) }), "#1f77b4");
+        assert_eq!(
+            node_fill(&NodeKind::Recv {
+                src: Rank(0),
+                wildcard: true
+            }),
+            "#d62728"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # anacin-viz
+//!
+//! Visualisation of non-determinism analyses, reproducing the paper's
+//! three figure families in two media each:
+//!
+//! | Paper figure | SVG | terminal |
+//! |---|---|---|
+//! | Event graphs (Figs. 1–4) | [`svg::event_graph_svg`] | [`ascii::event_graph_lanes`] |
+//! | Kernel-distance violins (Figs. 5–7) | [`svg::violin_svg`] | [`ascii::violins`] |
+//! | Callstack frequencies (Fig. 8) | [`svg::bar_chart_svg`] | [`ascii::bar_chart`] |
+//!
+//! The colour convention follows the paper: green = process start/end,
+//! blue = send, red = receive ([`color`]).
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod color;
+pub mod gantt;
+pub mod html;
+pub mod heatmap;
+pub mod svg;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::ascii;
+    pub use crate::gantt;
+    pub use crate::html::{HtmlReport, Section};
+    pub use crate::heatmap;
+    pub use crate::svg;
+}

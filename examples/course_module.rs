@@ -1,0 +1,60 @@
+//! The full course module, end to end: Tables I–II, the comprehension
+//! questions, and all three use cases executed with machine-checked
+//! observations.
+//!
+//! This is what an instructor runs before a tutorial to confirm every
+//! lesson reproduces on their machine.
+//!
+//! Run with: `cargo run --release --example course_module`
+//! (add `-- --paper-scale` for the paper's 16/32-process, 20-run scale)
+
+use anacin_x::prelude::*;
+
+fn main() {
+    println!("{}", table_i());
+    println!("{}", table_ii());
+
+    for level in Level::ALL {
+        println!("Questions — {level}:");
+        for q in questions_of(level) {
+            println!("  ({}) {}", q.goal, q.prompt);
+        }
+    }
+    println!();
+
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let cfg = if paper_scale {
+        LessonConfig::paper_scale()
+    } else {
+        LessonConfig::default()
+    };
+    println!(
+        "running lessons at {} scale: {} / {} processes, {} runs per setting\n",
+        if paper_scale { "paper" } else { "demo" },
+        cfg.procs_small,
+        cfg.procs_large,
+        cfg.runs
+    );
+
+    let mut all_passed = true;
+    for report in run_all(&cfg) {
+        println!("=== {} ===", report.title);
+        println!("{}", report.narrative);
+        for c in &report.checks {
+            println!(
+                "[{}] {} — {}",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            );
+            all_passed &= c.passed;
+        }
+        println!();
+    }
+    if all_passed {
+        println!("all lesson observations reproduced ✔");
+    } else {
+        println!("some lesson observations FAILED ✘");
+        std::process::exit(1);
+    }
+}

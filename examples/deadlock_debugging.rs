@@ -1,0 +1,72 @@
+//! Deadlock pedagogy: the classic head-to-head synchronous exchange,
+//! diagnosed and fixed.
+//!
+//! `MPI_Ssend` only completes when the receiver has matched the message.
+//! Two ranks that both ssend before receiving therefore block forever —
+//! on a real cluster this burns an allocation until the scheduler kills
+//! it (the paper's related work cites a 10,000-compute-hour hunt for a
+//! non-deterministic hang); in the simulator it is detected instantly and
+//! reported with per-rank diagnostics.
+//!
+//! Run with: `cargo run --release --example deadlock_debugging`
+
+use anacin_x::mpisim::engine::SimError;
+use anacin_x::mpisim::timeline::Timeline;
+use anacin_x::prelude::*;
+use anacin_x::viz::gantt;
+
+fn broken_exchange() -> Program {
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 1 << 20).recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1)).ssend(Rank(0), Tag(0), 1 << 20).recv(Rank(0), Tag(0).into());
+    b.build()
+}
+
+fn fixed_with_sendrecv() -> Program {
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).sendrecv(Rank(1), Rank(1), Tag(0), 1 << 20);
+    b.rank(Rank(1)).sendrecv(Rank(0), Rank(0), Tag(0), 1 << 20);
+    b.build()
+}
+
+fn fixed_with_ordering() -> Program {
+    // Odd/even ordering: rank 0 sends first, rank 1 receives first.
+    let mut b = ProgramBuilder::new(2);
+    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 1 << 20).recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1)).recv(Rank(0), Tag(0).into()).ssend(Rank(0), Tag(0), 1 << 20);
+    b.build()
+}
+
+fn main() {
+    println!("1. the broken exchange: both ranks MPI_Ssend before receiving\n");
+    match simulate(&broken_exchange(), &SimConfig::deterministic()) {
+        Err(SimError::Deadlock(report)) => {
+            println!("   simulator verdict: DEADLOCK");
+            println!("   {report}\n");
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+
+    for (name, program) in [
+        ("MPI_Sendrecv (nonblocking pair + waitall)", fixed_with_sendrecv()),
+        ("call ordering (one rank receives first)", fixed_with_ordering()),
+    ] {
+        println!("2. fix via {name}:");
+        let trace =
+            simulate(&program, &SimConfig::deterministic()).expect("fixed version completes");
+        assert_eq!(trace.meta.unmatched_messages, 0);
+        println!(
+            "   completes in {} simulated ns, {} messages exchanged",
+            trace.meta.makespan.nanos(),
+            trace.meta.messages
+        );
+        let tl = Timeline::of(&trace);
+        print!("{}", gantt::gantt_ascii(&tl, 48));
+        println!();
+    }
+
+    println!(
+        "The simulator's deadlock report names each blocked rank and the exact\n\
+         operation it is stuck on — try `anacin exercise fix-the-deadlock --solve`."
+    );
+}

@@ -1,0 +1,52 @@
+//! Record-and-replay (the ReMPI technique from the paper's related work).
+//!
+//! Demonstrates both halves of the non-determinism story:
+//!
+//! 1. *measure* — free runs of an unstructured-mesh app at 100% ND have
+//!    positive kernel distance to a recorded reference run;
+//! 2. *suppress* — replaying the recorded matching decisions pins every
+//!    wildcard receive, and the distance collapses to exactly zero even
+//!    though the network still injects delays.
+//!
+//! Run with: `cargo run --release --example record_replay`
+
+use anacin_x::prelude::*;
+
+fn main() {
+    let app = MiniAppConfig::with_procs(10).iterations(2);
+    let program = Pattern::UnstructuredMesh.build(&app);
+    let kernel = WlKernel::default();
+
+    // Record a reference run.
+    let reference = simulate(&program, &SimConfig::with_nd_percent(100.0, 42))
+        .expect("reference run completes");
+    let record = MatchRecord::from_trace(&reference);
+    let g_ref = EventGraph::from_trace(&reference);
+    println!(
+        "recorded reference run: {} receive decisions captured",
+        record.total()
+    );
+
+    println!("\n{:>6} {:>20} {:>20}", "seed", "free-run distance", "replayed distance");
+    let mut free_distances = Vec::new();
+    for seed in 100..110 {
+        let sim = SimConfig::with_nd_percent(100.0, seed);
+        let free = simulate(&program, &sim).expect("free run completes");
+        let replayed =
+            simulate_replay(&program, &sim, &record).expect("replayed run completes");
+        let d_free = distance(&kernel, &g_ref, &EventGraph::from_trace(&free));
+        let d_rep = distance(&kernel, &g_ref, &EventGraph::from_trace(&replayed));
+        println!("{seed:>6} {d_free:>20.4} {d_rep:>20.4}");
+        assert_eq!(d_rep, 0.0, "replay must reproduce the recorded matching");
+        free_distances.push(d_free);
+    }
+
+    let s = Summary::of(&free_distances).expect("nonempty");
+    println!(
+        "\nfree runs diverge from the reference (mean distance {:.3});\n\
+         replayed runs are bit-identical in communication structure (distance 0.0).\n\
+         This is how record-and-replay tools like ReMPI temporarily restore\n\
+         reproducibility for debugging.",
+        s.mean
+    );
+}

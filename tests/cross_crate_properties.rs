@@ -1,0 +1,108 @@
+//! Property-based tests spanning the whole pipeline.
+
+use anacin_x::prelude::*;
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::MessageRace),
+        Just(Pattern::Amg2013),
+        Just(Pattern::UnstructuredMesh),
+        Just(Pattern::Collectives),
+        Just(Pattern::Stencil2d),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every packaged pattern, at any (procs, nd, iterations, seed) in
+    /// range, completes with all messages delivered and a valid trace.
+    #[test]
+    fn patterns_always_complete(
+        pattern in arb_pattern(),
+        procs in 2u32..10,
+        nd in 0.0f64..=100.0,
+        iterations in 1u32..3,
+        seed in 0u64..500,
+    ) {
+        let app = MiniAppConfig::with_procs(procs).iterations(iterations);
+        let program = pattern.build(&app);
+        prop_assert!(program.check_balance().is_ok());
+        let t = simulate(&program, &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        prop_assert_eq!(t.meta.unmatched_messages, 0);
+        t.validate().unwrap();
+    }
+
+    /// The event graph of any run is a DAG whose Lamport clocks verify,
+    /// and the kernel self-distance is zero.
+    #[test]
+    fn graphs_are_dags_with_zero_self_distance(
+        pattern in arb_pattern(),
+        procs in 2u32..8,
+        seed in 0u64..200,
+    ) {
+        let program = pattern.build(&MiniAppConfig::with_procs(procs));
+        let t = simulate(&program, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+        let g = EventGraph::from_trace(&t);
+        prop_assert!(anacin_x::event_graph::algo::is_dag(&g));
+        let ts = anacin_x::event_graph::lamport::lamport_times(&g);
+        anacin_x::event_graph::lamport::verify_lamport(&g, &ts).unwrap();
+        let k = WlKernel::default();
+        prop_assert_eq!(distance(&k, &g, &g), 0.0);
+    }
+
+    /// Kernel distances between runs are symmetric and non-negative for
+    /// every kernel, and zero at nd=0.
+    #[test]
+    fn distances_symmetric_nonnegative(
+        pattern in arb_pattern(),
+        procs in 2u32..8,
+        seed_a in 0u64..50,
+        seed_b in 50u64..100,
+    ) {
+        let program = pattern.build(&MiniAppConfig::with_procs(procs));
+        let ga = EventGraph::from_trace(
+            &simulate(&program, &SimConfig::with_nd_percent(100.0, seed_a)).unwrap());
+        let gb = EventGraph::from_trace(
+            &simulate(&program, &SimConfig::with_nd_percent(100.0, seed_b)).unwrap());
+        let kernels: Vec<Box<dyn GraphKernel>> = vec![
+            Box::new(WlKernel::default()),
+            Box::new(VertexHistogramKernel::default()),
+            Box::new(EdgeHistogramKernel::default()),
+        ];
+        for k in &kernels {
+            let dab = distance(k.as_ref(), &ga, &gb);
+            let dba = distance(k.as_ref(), &gb, &ga);
+            prop_assert!(dab >= 0.0);
+            prop_assert!((dab - dba).abs() < 1e-9);
+        }
+    }
+
+    /// Record/replay reproduces the recorded match orders for every
+    /// pattern (the extension integrates with all of them).
+    #[test]
+    fn replay_is_universal(
+        pattern in arb_pattern(),
+        procs in 2u32..8,
+        record_seed in 0u64..20,
+        replay_seed in 20u64..40,
+    ) {
+        let program = pattern.build(&MiniAppConfig::with_procs(procs));
+        let recorded =
+            simulate(&program, &SimConfig::with_nd_percent(100.0, record_seed)).unwrap();
+        let record = MatchRecord::from_trace(&recorded);
+        let replayed = simulate_replay(
+            &program,
+            &SimConfig::with_nd_percent(100.0, replay_seed),
+            &record,
+        ).unwrap();
+        for r in 0..procs {
+            prop_assert_eq!(
+                recorded.match_order(Rank(r)),
+                replayed.match_order(Rank(r)),
+                "rank {} diverged", r
+            );
+        }
+    }
+}
