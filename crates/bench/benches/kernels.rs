@@ -61,13 +61,9 @@ fn gram_matrix_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("gram_matrix_threads");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| gram_matrix(&k, &gs, t));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| gram_matrix(&k, &gs, t));
+        });
     }
     group.finish();
 }

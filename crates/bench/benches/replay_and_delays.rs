@@ -32,7 +32,10 @@ fn delay_distribution(c: &mut Criterion) {
     let program = Pattern::UnstructuredMesh.build(&MiniAppConfig::with_procs(16).iterations(2));
     let mut group = c.benchmark_group("delay_distribution");
     let dists = [
-        ("exponential", DelayDistribution::Exponential { mean_ns: 100.0 }),
+        (
+            "exponential",
+            DelayDistribution::Exponential { mean_ns: 100.0 },
+        ),
         (
             "uniform",
             DelayDistribution::Uniform {

@@ -19,17 +19,13 @@ fn sim_throughput(c: &mut Criterion) {
                 t.total_events() as u64
             };
             group.throughput(Throughput::Elements(events));
-            group.bench_with_input(
-                BenchmarkId::new(pattern.name(), procs),
-                &program,
-                |b, p| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        simulate(p, &SimConfig::with_nd_percent(100.0, seed)).unwrap()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(pattern.name(), procs), &program, |b, p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    simulate(p, &SimConfig::with_nd_percent(100.0, seed)).unwrap()
+                });
+            });
         }
     }
     group.finish();

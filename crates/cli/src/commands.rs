@@ -59,6 +59,9 @@ COMMANDS
               (feed back with: replay --record FILE)
   course      print the course module; --lesson 1..4 runs a use case
               [--level a|b|c] [--answers] [--agenda] [--related-work]
+  testkit     random-program test harness
+              testkit gen --seed S [--procs N --rounds R] [--out FILE]
+              testkit check --seed S [--count N]
   help        this message
 ";
 
@@ -89,6 +92,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         Some("trace") => cmd_trace(args),
         Some("record") => cmd_record(args),
         Some("course") => cmd_course(args),
+        Some("testkit") => cmd_testkit(args),
         Some(other) => Err(format!("unknown command '{other}'; try 'anacin help'")),
     }
 }
@@ -115,10 +119,7 @@ fn campaign_of(args: &Args) -> Result<CampaignConfig, String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = campaign_of(args)?;
     let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
-    let m = NdMeasurement::from_campaign(
-        format!("{} @ {}%", cfg.pattern, cfg.nd_percent),
-        &result,
-    );
+    let m = NdMeasurement::from_campaign(format!("{} @ {}%", cfg.pattern, cfg.nd_percent), &result);
     if args.flag("json") {
         let rep = MeasurementReport::from(&m);
         println!(
@@ -149,10 +150,8 @@ fn single_graph(args: &Args) -> Result<EventGraph, String> {
     let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
     app.iterations = args.get_parsed("iterations", 1u32)?;
     let program = pattern.build(&app);
-    let sim = SimConfig::with_nd_percent(
-        args.get_parsed("nd", 0.0)?,
-        args.get_parsed("seed", 1u64)?,
-    );
+    let sim =
+        SimConfig::with_nd_percent(args.get_parsed("nd", 0.0)?, args.get_parsed("seed", 1u64)?);
     let t = simulate(&program, &sim).map_err(|e| e.to_string())?;
     Ok(EventGraph::from_trace(&t))
 }
@@ -192,15 +191,18 @@ fn cmd_distance(args: &Args) -> Result<(), String> {
     let nd = args.get_parsed("nd", 100.0)?;
     let seed_a = args.get_parsed("seed-a", 1u64)?;
     let seed_b = args.get_parsed("seed-b", 2u64)?;
-    let ta = simulate(&program, &SimConfig::with_nd_percent(nd, seed_a))
-        .map_err(|e| e.to_string())?;
-    let tb = simulate(&program, &SimConfig::with_nd_percent(nd, seed_b))
-        .map_err(|e| e.to_string())?;
+    let ta =
+        simulate(&program, &SimConfig::with_nd_percent(nd, seed_a)).map_err(|e| e.to_string())?;
+    let tb =
+        simulate(&program, &SimConfig::with_nd_percent(nd, seed_b)).map_err(|e| e.to_string())?;
     let ga = EventGraph::from_trace(&ta);
     let gb = EventGraph::from_trace(&tb);
     let k = WlKernel::default();
     let d = distance(&k, &ga, &gb);
-    println!("kernel={} distance(seed {seed_a}, seed {seed_b}) = {d:.4}", k.name());
+    println!(
+        "kernel={} distance(seed {seed_a}, seed {seed_b}) = {d:.4}",
+        k.name()
+    );
     Ok(())
 }
 
@@ -246,13 +248,16 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     let app = MiniAppConfig::with_procs(args.get_parsed("procs", 6)?);
     let program = pattern.build(&app);
     let seed = args.get_parsed("seed", 1u64)?;
-    let recorded = simulate(&program, &SimConfig::with_nd_percent(100.0, seed))
-        .map_err(|e| e.to_string())?;
+    let recorded =
+        simulate(&program, &SimConfig::with_nd_percent(100.0, seed)).map_err(|e| e.to_string())?;
     let record = match args.get("record") {
         Some(path) => {
             let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
             let rec: MatchRecord = serde_json::from_str(&data).map_err(|e| e.to_string())?;
-            println!("loaded match record from {path} ({} decisions)", rec.total());
+            println!(
+                "loaded match record from {path} ({} decisions)",
+                rec.total()
+            );
             rec
         }
         None => MatchRecord::from_trace(&recorded),
@@ -295,11 +300,7 @@ fn cmd_figure(args: &Args) -> Result<(), String> {
     } else {
         Scale::quick()
     };
-    let id = args
-        .positional
-        .first()
-        .map(String::as_str)
-        .unwrap_or("all");
+    let id = args.positional.first().map(String::as_str).unwrap_or("all");
     let ids: Vec<&str> = if id == "all" {
         ALL_IDS.to_vec()
     } else {
@@ -394,7 +395,10 @@ fn cmd_embed(args: &Args) -> Result<(), String> {
         embedding.eigenvalues.1
     );
     for (i, (x, y)) in embedding.points.iter().enumerate() {
-        println!("run {i:>3} (seed {}): ({x:>9.4}, {y:>9.4})", cfg.base_seed + i as u64);
+        println!(
+            "run {i:>3} (seed {}): ({x:>9.4}, {y:>9.4})",
+            cfg.base_seed + i as u64
+        );
     }
     if let Some(path) = args.get("out") {
         let svg = anacin_viz::heatmap::scatter_svg(
@@ -416,12 +420,10 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
     let seed_a = args.get_parsed("seed-a", 1u64)?;
     let seed_b = args.get_parsed("seed-b", 2u64)?;
     let ga = EventGraph::from_trace(
-        &simulate(&program, &SimConfig::with_nd_percent(nd, seed_a))
-            .map_err(|e| e.to_string())?,
+        &simulate(&program, &SimConfig::with_nd_percent(nd, seed_a)).map_err(|e| e.to_string())?,
     );
     let gb = EventGraph::from_trace(
-        &simulate(&program, &SimConfig::with_nd_percent(nd, seed_b))
-            .map_err(|e| e.to_string())?,
+        &simulate(&program, &SimConfig::with_nd_percent(nd, seed_b)).map_err(|e| e.to_string())?,
     );
     let d = anacin_event_graph::diff::diff(&ga, &gb).map_err(|e| e.to_string())?;
     print!("{d}");
@@ -496,7 +498,10 @@ fn cmd_exercise(args: &Args) -> Result<(), String> {
                 return Ok(());
             }
             let (result, label) = match id {
-                "write-a-race" => (ex::check_write_a_race(&ex::solve_write_a_race()), "reference"),
+                "write-a-race" => (
+                    ex::check_write_a_race(&ex::solve_write_a_race()),
+                    "reference",
+                ),
                 "make-it-deterministic" => (
                     ex::check_make_it_deterministic(&ex::solve_make_it_deterministic()),
                     "reference",
@@ -507,11 +512,15 @@ fn cmd_exercise(args: &Args) -> Result<(), String> {
                         ex::check_fix_the_deadlock(&ex::broken_fix_the_deadlock())
                             .expect_err("the broken version must fail")
                     );
-                    (ex::check_fix_the_deadlock(&ex::solve_fix_the_deadlock()), "reference")
+                    (
+                        ex::check_fix_the_deadlock(&ex::solve_fix_the_deadlock()),
+                        "reference",
+                    )
                 }
-                "bound-the-race" => {
-                    (ex::check_bound_the_race(&ex::solve_bound_the_race()), "reference")
-                }
+                "bound-the-race" => (
+                    ex::check_bound_the_race(&ex::solve_bound_the_race()),
+                    "reference",
+                ),
                 _ => unreachable!("catalogue covered"),
             };
             match result {
@@ -562,10 +571,8 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
     let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
     app.iterations = args.get_parsed("iterations", 1u32)?;
     let program = pattern.build(&app);
-    let sim = SimConfig::with_nd_percent(
-        args.get_parsed("nd", 0.0)?,
-        args.get_parsed("seed", 1u64)?,
-    );
+    let sim =
+        SimConfig::with_nd_percent(args.get_parsed("nd", 0.0)?, args.get_parsed("seed", 1u64)?);
     let trace = simulate(&program, &sim).map_err(|e| e.to_string())?;
     let tl = anacin_mpisim::timeline::Timeline::of(&trace);
     print!("{}", anacin_viz::gantt::gantt_ascii(&tl, 64));
@@ -583,10 +590,8 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
     app.iterations = args.get_parsed("iterations", 1u32)?;
     let program = pattern.build(&app);
-    let sim = SimConfig::with_nd_percent(
-        args.get_parsed("nd", 0.0)?,
-        args.get_parsed("seed", 1u64)?,
-    );
+    let sim =
+        SimConfig::with_nd_percent(args.get_parsed("nd", 0.0)?, args.get_parsed("seed", 1u64)?);
     let trace = simulate(&program, &sim).map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
     write_out(args, &json)
@@ -598,8 +603,8 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     let program = pattern.build(&app);
     let seed = args.get_parsed("seed", 1u64)?;
     let nd = args.get_parsed("nd", 100.0)?;
-    let trace = simulate(&program, &SimConfig::with_nd_percent(nd, seed))
-        .map_err(|e| e.to_string())?;
+    let trace =
+        simulate(&program, &SimConfig::with_nd_percent(nd, seed)).map_err(|e| e.to_string())?;
     let record = MatchRecord::from_trace(&trace);
     let path = args
         .get("out")
@@ -742,4 +747,60 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         ),
     }
     Ok(())
+}
+
+fn cmd_testkit(args: &Args) -> Result<(), String> {
+    use anacin_testkit::prelude::*;
+    let seed = args.get_parsed("seed", 0u64)?;
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => {
+            let mut cfg = GenConfig::from_seed(seed);
+            if let Some(procs) = args.get("procs") {
+                cfg.world_size = procs
+                    .parse()
+                    .map_err(|_| format!("invalid value '{procs}' for --procs"))?;
+            }
+            if let Some(rounds) = args.get("rounds") {
+                cfg.rounds = rounds
+                    .parse()
+                    .map_err(|_| format!("invalid value '{rounds}' for --rounds"))?;
+            }
+            let gp = generate(&cfg);
+            let mut listing = format!(
+                "# generated program (seed {seed}): {} ranks, {} rounds {:?}, \
+                 {} sends / {} receives, chaotic ranks {:?}\n",
+                gp.program.world_size(),
+                gp.round_kinds.len(),
+                gp.round_kinds,
+                gp.program.total_sends(),
+                gp.program.total_receives(),
+                gp.chaotic_ranks,
+            );
+            for r in 0..gp.program.world_size() {
+                listing.push_str(&format!("rank {r}:\n"));
+                for op in gp.program.ops(Rank(r)) {
+                    listing.push_str(&format!("  {op:?}\n"));
+                }
+            }
+            write_out(args, &listing)
+        }
+        Some("check") => {
+            let count = args.get_parsed("count", 1u64)?;
+            for s in seed..seed + count {
+                let summary = check_seed(s).map_err(|e| format!("seed {s}: {e}"))?;
+                println!(
+                    "seed {s}: ok — {} events, {} messages ({} wildcard recvs), \
+                     {} replayed receives aligned, {} kernel pairs checked",
+                    summary.validation.events,
+                    summary.validation.messages,
+                    summary.validation.wildcard_recvs,
+                    summary.replayed_receives,
+                    summary.kernel_pairs,
+                );
+            }
+            println!("all oracles hold for {count} generated program(s)");
+            Ok(())
+        }
+        _ => Err("testkit requires an action: 'gen' or 'check'".to_string()),
+    }
 }

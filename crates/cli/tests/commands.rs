@@ -21,23 +21,45 @@ fn help_and_unknown_command() {
 fn run_command_small_campaign() {
     run(&["run", "--pattern", "race", "--procs", "5", "--runs", "5"]).unwrap();
     run(&[
-        "run", "--pattern", "amg", "--procs", "3", "--runs", "4", "--json",
+        "run",
+        "--pattern",
+        "amg",
+        "--procs",
+        "3",
+        "--runs",
+        "4",
+        "--json",
     ])
     .unwrap();
 }
 
 #[test]
 fn run_rejects_bad_pattern_and_values() {
-    assert!(run(&["run", "--pattern", "nope"]).unwrap_err().contains("unknown pattern"));
-    assert!(run(&["run", "--procs", "three"]).unwrap_err().contains("invalid value"));
+    assert!(run(&["run", "--pattern", "nope"])
+        .unwrap_err()
+        .contains("unknown pattern"));
+    assert!(run(&["run", "--procs", "three"])
+        .unwrap_err()
+        .contains("invalid value"));
 }
 
 #[test]
 fn graph_formats() {
     for fmt in ["ascii", "dot", "graphml", "json", "svg"] {
-        run(&["graph", "--pattern", "race", "--procs", "4", "--format", fmt]).unwrap();
+        run(&[
+            "graph",
+            "--pattern",
+            "race",
+            "--procs",
+            "4",
+            "--format",
+            fmt,
+        ])
+        .unwrap();
     }
-    assert!(run(&["graph", "--format", "png"]).unwrap_err().contains("unknown format"));
+    assert!(run(&["graph", "--format", "png"])
+        .unwrap_err()
+        .contains("unknown format"));
 }
 
 #[test]
@@ -66,7 +88,15 @@ fn graph_writes_file() {
 fn distance_and_diff() {
     run(&["distance", "--pattern", "race", "--procs", "5"]).unwrap();
     run(&[
-        "diff", "--pattern", "race", "--procs", "5", "--seed-a", "1", "--seed-b", "9",
+        "diff",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--seed-a",
+        "1",
+        "--seed-b",
+        "9",
     ])
     .unwrap();
 }
@@ -74,16 +104,32 @@ fn distance_and_diff() {
 #[test]
 fn sweep_kinds() {
     run(&[
-        "sweep", "--kind", "iterations", "--pattern", "race", "--procs", "4", "--runs", "4",
+        "sweep",
+        "--kind",
+        "iterations",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--runs",
+        "4",
     ])
     .unwrap();
-    assert!(run(&["sweep", "--kind", "bananas"]).unwrap_err().contains("unknown sweep kind"));
+    assert!(run(&["sweep", "--kind", "bananas"])
+        .unwrap_err()
+        .contains("unknown sweep kind"));
 }
 
 #[test]
 fn root_cause_runs() {
     run(&[
-        "root-cause", "--pattern", "amg", "--procs", "4", "--runs", "5",
+        "root-cause",
+        "--pattern",
+        "amg",
+        "--procs",
+        "4",
+        "--runs",
+        "5",
     ])
     .unwrap();
 }
@@ -94,32 +140,58 @@ fn replay_and_record_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
     let rec = dir.join("rec.json");
     run(&[
-        "record", "--pattern", "race", "--procs", "5", "--out", rec.to_str().unwrap(),
+        "record",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--out",
+        rec.to_str().unwrap(),
     ])
     .unwrap();
     run(&[
-        "replay", "--pattern", "race", "--procs", "5", "--record", rec.to_str().unwrap(),
+        "replay",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--record",
+        rec.to_str().unwrap(),
     ])
     .unwrap();
     std::fs::remove_file(rec).ok();
-    assert!(run(&["record", "--pattern", "race"]).unwrap_err().contains("--out"));
+    assert!(run(&["record", "--pattern", "race"])
+        .unwrap_err()
+        .contains("--out"));
 }
 
 #[test]
 fn inspect_timeline_trace() {
     run(&["inspect", "--pattern", "mesh", "--procs", "5"]).unwrap();
-    run(&["timeline", "--pattern", "race", "--procs", "4", "--nd", "50"]).unwrap();
+    run(&[
+        "timeline",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--nd",
+        "50",
+    ])
+    .unwrap();
     run(&["trace", "--pattern", "race", "--procs", "3"]).unwrap();
 }
 
 #[test]
 fn embed_and_heatmap() {
+    run(&["embed", "--pattern", "race", "--procs", "5", "--runs", "5"]).unwrap();
     run(&[
-        "embed", "--pattern", "race", "--procs", "5", "--runs", "5",
-    ])
-    .unwrap();
-    run(&[
-        "heatmap", "--pattern", "race", "--procs", "5", "--runs", "5",
+        "heatmap",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--runs",
+        "5",
     ])
     .unwrap();
 }
@@ -129,15 +201,21 @@ fn exercise_catalogue_and_grading() {
     run(&["exercise"]).unwrap();
     run(&["exercise", "write-a-race"]).unwrap();
     run(&["exercise", "make-it-deterministic", "--solve"]).unwrap();
-    assert!(run(&["exercise", "nope"]).unwrap_err().contains("unknown exercise"));
+    assert!(run(&["exercise", "nope"])
+        .unwrap_err()
+        .contains("unknown exercise"));
 }
 
 #[test]
 fn course_structure_and_levels() {
     run(&["course"]).unwrap();
     run(&["course", "--level", "a", "--answers"]).unwrap();
-    assert!(run(&["course", "--level", "z"]).unwrap_err().contains("unknown level"));
-    assert!(run(&["course", "--lesson", "9"]).unwrap_err().contains("unknown lesson"));
+    assert!(run(&["course", "--level", "z"])
+        .unwrap_err()
+        .contains("unknown level"));
+    assert!(run(&["course", "--lesson", "9"])
+        .unwrap_err()
+        .contains("unknown lesson"));
 }
 
 #[test]
@@ -152,7 +230,9 @@ fn figure_quick_artifacts() {
     for id in ["tables", "1", "2", "3", "4"] {
         run(&["figure", id]).unwrap();
     }
-    assert!(run(&["figure", "99"]).unwrap_err().contains("unknown figure"));
+    assert!(run(&["figure", "99"])
+        .unwrap_err()
+        .contains("unknown figure"));
 }
 
 #[test]
@@ -161,7 +241,14 @@ fn report_and_explain_and_ablation() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("report.html");
     run(&[
-        "report", "--pattern", "race", "--procs", "5", "--runs", "5", "--out",
+        "report",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--runs",
+        "5",
+        "--out",
         path.to_str().unwrap(),
     ])
     .unwrap();
@@ -170,16 +257,51 @@ fn report_and_explain_and_ablation() {
     assert!(html.contains("Root-source call paths"));
     std::fs::remove_file(path).ok();
     run(&[
-        "explain", "--pattern", "race", "--procs", "4", "--from", "1.1", "--to", "0.4",
+        "explain",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--from",
+        "1.1",
+        "--to",
+        "0.4",
     ])
     .unwrap();
-    assert!(run(&["explain", "--from", "9.0"]).unwrap_err().contains("rank out of range"));
-    assert!(run(&["explain", "--from", "zero"]).unwrap_err().contains("RANK.INDEX"));
-    run(&["ablation", "--pattern", "race", "--procs", "5", "--runs", "5"]).unwrap();
+    assert!(run(&["explain", "--from", "9.0"])
+        .unwrap_err()
+        .contains("rank out of range"));
+    assert!(run(&["explain", "--from", "zero"])
+        .unwrap_err()
+        .contains("RANK.INDEX"));
+    run(&[
+        "ablation",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--runs",
+        "5",
+    ])
+    .unwrap();
 }
 
 #[test]
 fn course_agenda_and_related_work() {
     run(&["course", "--agenda"]).unwrap();
     run(&["course", "--related-work"]).unwrap();
+}
+
+#[test]
+fn testkit_gen_and_check() {
+    run(&["testkit", "gen", "--seed", "7"]).unwrap();
+    run(&[
+        "testkit", "gen", "--seed", "7", "--procs", "4", "--rounds", "2",
+    ])
+    .unwrap();
+    run(&["testkit", "check", "--seed", "0", "--count", "2"]).unwrap();
+    assert!(run(&["testkit"]).unwrap_err().contains("action"));
+    assert!(run(&["testkit", "gen", "--procs", "many"])
+        .unwrap_err()
+        .contains("invalid value"));
 }

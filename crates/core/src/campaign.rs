@@ -81,7 +81,10 @@ pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trac
             out[i] = Some(r?);
         }
     }
-    Ok(out.into_iter().map(|t| t.expect("all slots filled")).collect())
+    Ok(out
+        .into_iter()
+        .map(|t| t.expect("all slots filled"))
+        .collect())
 }
 
 /// Run a full campaign: simulate, graph, and measure.

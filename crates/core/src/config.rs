@@ -54,9 +54,7 @@ impl KernelChoice {
                 policy,
                 edge_sensitive: false,
             }),
-            KernelChoice::VertexHistogram { policy } => {
-                Box::new(VertexHistogramKernel { policy })
-            }
+            KernelChoice::VertexHistogram { policy } => Box::new(VertexHistogramKernel { policy }),
             KernelChoice::EdgeHistogram { policy } => Box::new(EdgeHistogramKernel { policy }),
             KernelChoice::ShortestPath {
                 policy,

@@ -114,7 +114,10 @@ fn l1(a: &HashMap<u64, f64>, b: &HashMap<u64, f64>) -> f64 {
 /// Panics when the campaign has fewer than two runs (nothing to compare)
 /// or `config.slices == 0`.
 pub fn analyze(result: &CampaignResult, config: &RootCauseConfig) -> CallstackRanking {
-    assert!(result.graphs.len() >= 2, "need at least two runs to compare");
+    assert!(
+        result.graphs.len() >= 2,
+        "need at least two runs to compare"
+    );
     assert!(config.slices > 0, "need at least one slice");
     let per_run: Vec<Vec<HashMap<u64, f64>>> = result
         .graphs
@@ -285,8 +288,7 @@ mod tests {
 
     #[test]
     fn mesh_pattern_surfaces_halo_receives() {
-        let r =
-            run_campaign(&CampaignConfig::new(Pattern::UnstructuredMesh, 8).runs(8)).unwrap();
+        let r = run_campaign(&CampaignConfig::new(Pattern::UnstructuredMesh, 8).runs(8)).unwrap();
         let ranking = analyze(&r, &RootCauseConfig::default());
         let top = ranking.top().unwrap();
         assert!(

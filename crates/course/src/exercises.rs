@@ -95,9 +95,11 @@ pub fn check_write_a_race(program: &Program) -> Result<(), String> {
     let prints = wl_fingerprints(program, 0..20)?;
     let distinct: std::collections::HashSet<_> = prints.iter().collect();
     if distinct.len() < 2 {
-        return Err("all 20 runs produced the identical communication pattern — \
+        return Err(
+            "all 20 runs produced the identical communication pattern — \
                     no race present"
-            .to_string());
+                .to_string(),
+        );
     }
     Ok(())
 }
@@ -157,7 +159,10 @@ pub fn check_fix_the_deadlock(program: &Program) -> Result<(), String> {
     }
     match simulate(program, &SimConfig::with_nd_percent(100.0, 1)) {
         Ok(t) if t.meta.unmatched_messages == 0 => Ok(()),
-        Ok(t) => Err(format!("{} unmatched message(s)", t.meta.unmatched_messages)),
+        Ok(t) => Err(format!(
+            "{} unmatched message(s)",
+            t.meta.unmatched_messages
+        )),
         Err(SimError::Deadlock(r)) => Err(format!("still deadlocks: {r}")),
         Err(e) => Err(e.to_string()),
     }
@@ -174,8 +179,12 @@ pub fn solve_fix_the_deadlock() -> Program {
 /// The intentionally broken starting point for "fix-the-deadlock".
 pub fn broken_fix_the_deadlock() -> Program {
     let mut b = ProgramBuilder::new(2);
-    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8).recv(Rank(1), Tag(0).into());
-    b.rank(Rank(1)).ssend(Rank(0), Tag(0), 8).recv(Rank(0), Tag(0).into());
+    b.rank(Rank(0))
+        .ssend(Rank(1), Tag(0), 8)
+        .recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1))
+        .ssend(Rank(0), Tag(0), 8)
+        .recv(Rank(0), Tag(0).into());
     b.build()
 }
 

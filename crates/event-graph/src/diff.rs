@@ -200,8 +200,7 @@ mod tests {
         let mut b = ProgramBuilder::new(5);
         b.rank(Rank(1)).send(Rank(0), Tag(0), 1);
         b.rank(Rank(0)).recv_any(TagSpec::Any);
-        let g =
-            EventGraph::from_trace(&simulate(&b.build(), &SimConfig::deterministic()).unwrap());
+        let g = EventGraph::from_trace(&simulate(&b.build(), &SimConfig::deterministic()).unwrap());
         let err = diff(&a, &g).unwrap_err();
         assert!(err.to_string().contains("not runs of the same program"));
         // Different world size.

@@ -123,7 +123,9 @@ mod tests {
         // 0 sends to 1, 1 relays to 2.
         let mut b = ProgramBuilder::new(3);
         b.rank(Rank(0)).send(Rank(1), Tag(0), 1);
-        b.rank(Rank(1)).recv(Rank(0), Tag(0).into()).send(Rank(2), Tag(1), 1);
+        b.rank(Rank(1))
+            .recv(Rank(0), Tag(0).into())
+            .send(Rank(2), Tag(1), 1);
         b.rank(Rank(2)).recv(Rank(1), Tag(1).into());
         let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
         EventGraph::from_trace(&t)

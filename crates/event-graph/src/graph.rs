@@ -84,9 +84,7 @@ pub struct Node {
 }
 
 /// Edge classes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EdgeKind {
     /// Logical precedence between consecutive events on one rank.
     Program,
@@ -223,7 +221,8 @@ impl EventGraph {
     /// All edges as `(from, to, kind)` triples.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeKind)> + '_ {
         self.out_edges.iter().enumerate().flat_map(|(i, es)| {
-            es.iter().map(move |&(to, kind)| (NodeId(i as u32), to, kind))
+            es.iter()
+                .map(move |&(to, kind)| (NodeId(i as u32), to, kind))
         })
     }
 

@@ -81,9 +81,7 @@ pub fn initial_labels(g: &EventGraph, policy: LabelPolicy) -> Vec<u64> {
                 LabelPolicy::EventType => fnv1a_words(&[class]),
                 LabelPolicy::TypeAndPeer => fnv1a_words(&[class, peer]),
                 LabelPolicy::RankAndType => fnv1a_words(&[class, n.rank.0 as u64 + 1]),
-                LabelPolicy::RankTypePeer => {
-                    fnv1a_words(&[class, n.rank.0 as u64 + 1, peer])
-                }
+                LabelPolicy::RankTypePeer => fnv1a_words(&[class, n.rank.0 as u64 + 1, peer]),
                 LabelPolicy::Callstack => fnv1a_words(&[5, n.stack.0 as u64]),
             }
         })
@@ -187,10 +185,7 @@ mod tests {
         assert_eq!(labels.len(), g.node_count());
         // Send nodes share a call path; init nodes share the unknown path;
         // they must differ from each other.
-        let send = g
-            .node_ids()
-            .find(|&id| g.node(id).kind.is_send())
-            .unwrap();
+        let send = g.node_ids().find(|&id| g.node(id).kind.is_send()).unwrap();
         let init = g.id_at(Rank(0), 0);
         assert_ne!(labels[send.index()], labels[init.index()]);
     }

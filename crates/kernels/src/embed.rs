@@ -137,10 +137,7 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let d = embedded_distance(e.points[i], e.points[j]);
-                assert!(
-                    (d - (pos[i] - pos[j]).abs()).abs() < 1e-6,
-                    "({i},{j}): {d}"
-                );
+                assert!((d - (pos[i] - pos[j]).abs()).abs() < 1e-6, "({i},{j}): {d}");
             }
         }
     }

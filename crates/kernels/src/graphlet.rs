@@ -33,8 +33,7 @@ impl Default for GraphletKernel {
 
 impl GraphletKernel {
     fn connected(g: &EventGraph, a: NodeId, b: NodeId) -> bool {
-        g.out_edges(a).iter().any(|&(n, _)| n == b)
-            || g.out_edges(b).iter().any(|&(n, _)| n == a)
+        g.out_edges(a).iter().any(|&(n, _)| n == b) || g.out_edges(b).iter().any(|&(n, _)| n == a)
     }
 }
 

@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn names_mention_policy() {
-        assert!(VertexHistogramKernel::default().name().contains("TypeAndPeer"));
-        assert!(EdgeHistogramKernel::default().name().starts_with("edge-hist"));
+        assert!(VertexHistogramKernel::default()
+            .name()
+            .contains("TypeAndPeer"));
+        assert!(EdgeHistogramKernel::default()
+            .name()
+            .starts_with("edge-hist"));
     }
 }

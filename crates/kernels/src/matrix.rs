@@ -119,19 +119,28 @@ pub fn parallel_features(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     for chunk in results {
         for (i, f) in chunk {
             out[i] = Some(f);
         }
     }
-    out.into_iter().map(|f| f.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|f| f.expect("all slots filled"))
+        .collect()
 }
 
 /// Compute the Gram matrix of `graphs` under `kernel` using up to
 /// `threads` worker threads.
-pub fn gram_matrix(kernel: &dyn GraphKernel, graphs: &[EventGraph], threads: usize) -> KernelMatrix {
+pub fn gram_matrix(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+) -> KernelMatrix {
     let n = graphs.len();
     let feats = parallel_features(kernel, graphs, threads);
     // Pairwise dot products, parallel over rows.
@@ -150,15 +159,17 @@ pub fn gram_matrix(kernel: &dyn GraphKernel, graphs: &[EventGraph], threads: usi
                             break;
                         }
                         // Compute the upper triangle of row i (j >= i).
-                        let row: Vec<f64> =
-                            (i..n).map(|j| feats[i].dot(&feats[j])).collect();
+                        let row: Vec<f64> = (i..n).map(|j| feats[i].dot(&feats[j])).collect();
                         local.push((i, row));
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut values = vec![0.0; n * n];
     for chunk in rows {

@@ -65,11 +65,7 @@ impl GraphKernel for ShortestPathKernel {
             for &t in &touched {
                 let d = dist[t];
                 if d > 0 {
-                    f.bump(fnv1a_words(&[
-                        labels[src.index()],
-                        d as u64,
-                        labels[t],
-                    ]));
+                    f.bump(fnv1a_words(&[labels[src.index()], d as u64, labels[t]]));
                 }
                 dist[t] = u32::MAX;
             }

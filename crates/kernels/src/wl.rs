@@ -71,10 +71,16 @@ impl WlKernel {
         for id in g.node_ids() {
             scratch_in.clear();
             scratch_out.clear();
-            scratch_in
-                .extend(g.in_edges(id).iter().map(|&(n, k)| contrib(labels[n.index()], k)));
-            scratch_out
-                .extend(g.out_edges(id).iter().map(|&(n, k)| contrib(labels[n.index()], k)));
+            scratch_in.extend(
+                g.in_edges(id)
+                    .iter()
+                    .map(|&(n, k)| contrib(labels[n.index()], k)),
+            );
+            scratch_out.extend(
+                g.out_edges(id)
+                    .iter()
+                    .map(|&(n, k)| contrib(labels[n.index()], k)),
+            );
             scratch_in.sort_unstable();
             scratch_out.sort_unstable();
             // Combine: own label, separator, in-multiset, separator,
@@ -132,8 +138,8 @@ impl GraphKernel for WlKernel {
 mod tests {
     use super::*;
     use crate::distance::kernel_distance;
-    use anacin_mpisim::prelude::*;
     use anacin_event_graph::EventGraph;
+    use anacin_mpisim::prelude::*;
 
     fn race_graph(n: u32, nd: f64, seed: u64) -> EventGraph {
         let mut b = ProgramBuilder::new(n);

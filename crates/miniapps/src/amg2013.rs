@@ -16,7 +16,11 @@ use anacin_mpisim::types::{Rank, Tag, TagSpec};
 
 /// Frames of the two exchange phases, mimicking hypre call paths.
 const PHASE_FRAMES: [[&str; 3]; 2] = [
-    ["main", "hypre_BoomerAMGSetup", "hypre_ParCSRMatrixExtractBExt"],
+    [
+        "main",
+        "hypre_BoomerAMGSetup",
+        "hypre_ParCSRMatrixExtractBExt",
+    ],
     ["main", "hypre_BoomerAMGSolve", "hypre_ParCSRMatrixMatvec"],
 ];
 

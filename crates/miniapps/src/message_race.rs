@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at least 2")]
-    fn rejects_single_process()
-    {
+    fn rejects_single_process() {
         build(&MiniAppConfig::with_procs(1));
     }
 }

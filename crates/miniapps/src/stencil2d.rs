@@ -121,7 +121,8 @@ mod tests {
     fn balanced_and_completes() {
         for procs in [2, 4, 6, 9, 12, 16] {
             let p = build(&MiniAppConfig::with_procs(procs).iterations(2));
-            p.check_balance().unwrap_or_else(|e| panic!("procs={procs}: {e}"));
+            p.check_balance()
+                .unwrap_or_else(|e| panic!("procs={procs}: {e}"));
             let t = simulate(&p, &SimConfig::with_nd_percent(100.0, 5))
                 .unwrap_or_else(|e| panic!("procs={procs}: {e}"));
             assert_eq!(t.meta.unmatched_messages, 0);

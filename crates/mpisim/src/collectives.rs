@@ -135,7 +135,8 @@ mod tests {
         let mut b = ProgramBuilder::new(world);
         f(&mut b, world);
         let p = b.build();
-        p.check_balance().unwrap_or_else(|e| panic!("world {world}: {e}"));
+        p.check_balance()
+            .unwrap_or_else(|e| panic!("world {world}: {e}"));
         let t = simulate(&p, &SimConfig::deterministic())
             .unwrap_or_else(|e| panic!("world {world}: {e}"));
         assert_eq!(t.meta.unmatched_messages, 0, "world {world}");

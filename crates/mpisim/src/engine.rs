@@ -935,7 +935,9 @@ mod tests {
         // receives (specific source) must observe them in send order.
         for seed in 0..30 {
             let mut b = ProgramBuilder::new(2);
-            b.rank(Rank(0)).send(Rank(1), Tag(0), 1).send(Rank(1), Tag(0), 1);
+            b.rank(Rank(0))
+                .send(Rank(1), Tag(0), 1)
+                .send(Rank(1), Tag(0), 1);
             b.rank(Rank(1))
                 .recv(Rank(0), Tag(0).into())
                 .recv(Rank(0), Tag(0).into());

@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn arrival_matches_first_posted() {
         let mut e = MatchEngine::new();
-        assert!(e.on_post(recv(SrcSpec::Rank(Rank(9)), TagSpec::Any)).is_none());
+        assert!(e
+            .on_post(recv(SrcSpec::Rank(Rank(9)), TagSpec::Any))
+            .is_none());
         assert!(e.on_post(recv(SrcSpec::Any, TagSpec::Any)).is_none());
         let (r, m) = e.on_arrival(msg(1, 0, 0, 10)).expect("must match");
         // First posted receive is src-specific and does not accept rank 1;

@@ -87,10 +87,7 @@ impl Program {
             sorted.sort_by_key(|s| s.0);
             for pair in sorted.windows(2) {
                 if pair[0] == pair[1] {
-                    return Err(RequestError::DoubleWait {
-                        rank,
-                        req: pair[0],
-                    });
+                    return Err(RequestError::DoubleWait { rank, req: pair[0] });
                 }
             }
             for &c in &created {
@@ -167,7 +164,11 @@ impl fmt::Display for RequestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RequestError::WaitOnUnknown { rank, req } => {
-                write!(f, "{rank} waits on slot {} which no isend/irecv created", req.0)
+                write!(
+                    f,
+                    "{rank} waits on slot {} which no isend/irecv created",
+                    req.0
+                )
             }
             RequestError::DoubleWait { rank, req } => {
                 write!(f, "{rank} waits on slot {} more than once", req.0)
@@ -320,8 +321,7 @@ impl<'a> RankBuilder<'a> {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.builder.contexts[self.rank.index()] =
-            frames.into_iter().map(Into::into).collect();
+        self.builder.contexts[self.rank.index()] = frames.into_iter().map(Into::into).collect();
         self
     }
 
@@ -470,8 +470,12 @@ mod tests {
     #[test]
     fn builds_simple_pingpong() {
         let mut b = ProgramBuilder::new(2);
-        b.rank(Rank(0)).send(Rank(1), Tag(0), 4).recv(Rank(1), Tag(1).into());
-        b.rank(Rank(1)).recv(Rank(0), Tag(0).into()).send(Rank(0), Tag(1), 4);
+        b.rank(Rank(0))
+            .send(Rank(1), Tag(0), 4)
+            .recv(Rank(1), Tag(1).into());
+        b.rank(Rank(1))
+            .recv(Rank(0), Tag(0).into())
+            .send(Rank(0), Tag(1), 4);
         let p = b.build();
         assert_eq!(p.world_size(), 2);
         assert_eq!(p.total_ops(), 4);

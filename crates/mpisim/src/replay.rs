@@ -105,7 +105,10 @@ mod tests {
         let rec = MatchRecord::from_trace(&t);
         assert_eq!(rec.recv_count(Rank(0)), 4);
         assert_eq!(rec.total(), 4);
-        assert_eq!(rec.matched(Rank(0), 0).unwrap().0, t.match_order(Rank(0))[0]);
+        assert_eq!(
+            rec.matched(Rank(0), 0).unwrap().0,
+            t.match_order(Rank(0))[0]
+        );
         assert!(rec.matched(Rank(0), 99).is_none());
         assert!(rec.matched(Rank(4), 0).is_none());
     }
@@ -120,8 +123,7 @@ mod tests {
         // Replaying under many different seeds (fresh delay draws!) must
         // reproduce the recorded match order every time.
         for seed in 0..15 {
-            let t =
-                simulate_replay(&p, &SimConfig::with_nd_percent(100.0, seed), &rec).unwrap();
+            let t = simulate_replay(&p, &SimConfig::with_nd_percent(100.0, seed), &rec).unwrap();
             assert_eq!(t.match_order(Rank(0)), want, "seed {seed} diverged");
             t.validate().unwrap();
         }
@@ -150,6 +152,54 @@ mod tests {
     }
 
     #[test]
+    fn record_roundtrips_through_serde_and_forces_identical_matching() {
+        // A wildcard-heavy program: every receive on rank 0 is nonblocking
+        // ANY_SOURCE/ANY_TAG, waited out of posting order, so the record is
+        // carrying real racing decisions, not deterministic filler.
+        let n = 7u32;
+        let mut b = ProgramBuilder::new(n);
+        for r in 1..n {
+            b.rank(Rank(r)).send(Rank(0), Tag(r as i32 % 3), 1);
+        }
+        {
+            let mut r0 = b.rank(Rank(0));
+            let reqs: Vec<_> = (1..n).map(|_| r0.irecv_any(TagSpec::Any)).collect();
+            for req in reqs.into_iter().rev() {
+                r0.wait(req);
+            }
+        }
+        let p = b.build();
+        let recorded = simulate(&p, &SimConfig::with_nd_percent(100.0, 9)).unwrap();
+        assert_eq!(recorded.wildcard_recv_count(), (n - 1) as usize);
+        let rec = MatchRecord::from_trace(&recorded);
+
+        // The record must survive a serialize/deserialize round trip…
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: MatchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+
+        // …and the deserialized copy must force the recorded matching on
+        // replay, exactly as the in-memory original does.
+        for seed in 40..50 {
+            let from_orig =
+                simulate_replay(&p, &SimConfig::with_nd_percent(100.0, seed), &rec).unwrap();
+            let from_back =
+                simulate_replay(&p, &SimConfig::with_nd_percent(100.0, seed), &back).unwrap();
+            assert_eq!(
+                from_orig.match_order(Rank(0)),
+                recorded.match_order(Rank(0))
+            );
+            assert_eq!(
+                from_back.match_order(Rank(0)),
+                recorded.match_order(Rank(0))
+            );
+            for ((_, a), (_, b)) in from_orig.iter().zip(from_back.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
     fn replay_with_nonblocking_receives() {
         let n = 6u32;
         let mut b = ProgramBuilder::new(n);
@@ -165,8 +215,7 @@ mod tests {
         let recorded = simulate(&p, &SimConfig::with_nd_percent(100.0, 3)).unwrap();
         let rec = MatchRecord::from_trace(&recorded);
         for seed in 20..30 {
-            let t =
-                simulate_replay(&p, &SimConfig::with_nd_percent(100.0, seed), &rec).unwrap();
+            let t = simulate_replay(&p, &SimConfig::with_nd_percent(100.0, seed), &rec).unwrap();
             assert_eq!(t.match_order(Rank(0)), recorded.match_order(Rank(0)));
         }
     }

@@ -20,7 +20,9 @@ fn ssend_blocks_until_late_receiver_arrives() {
     // finish immediately).
     let mut b = ProgramBuilder::new(2);
     b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8);
-    b.rank(Rank(1)).compute(1_000_000).recv(Rank(0), Tag(0).into());
+    b.rank(Rank(1))
+        .compute(1_000_000)
+        .recv(Rank(0), Tag(0).into());
     let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
     let sender_final = t.rank_events(Rank(0)).last().unwrap().time;
     assert!(
@@ -30,7 +32,9 @@ fn ssend_blocks_until_late_receiver_arrives() {
     // Eager comparison.
     let mut b = ProgramBuilder::new(2);
     b.rank(Rank(0)).send(Rank(1), Tag(0), 8);
-    b.rank(Rank(1)).compute(1_000_000).recv(Rank(0), Tag(0).into());
+    b.rank(Rank(1))
+        .compute(1_000_000)
+        .recv(Rank(0), Tag(0).into());
     let t2 = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
     let eager_final = t2.rank_events(Rank(0)).last().unwrap().time;
     assert!(eager_final < SimTime(1_000_000));
@@ -40,8 +44,12 @@ fn ssend_blocks_until_late_receiver_arrives() {
 fn head_to_head_ssend_deadlocks() {
     // The textbook unsafe exchange: both ranks ssend first.
     let mut b = ProgramBuilder::new(2);
-    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 8).recv(Rank(1), Tag(0).into());
-    b.rank(Rank(1)).ssend(Rank(0), Tag(0), 8).recv(Rank(0), Tag(0).into());
+    b.rank(Rank(0))
+        .ssend(Rank(1), Tag(0), 8)
+        .recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1))
+        .ssend(Rank(0), Tag(0), 8)
+        .recv(Rank(0), Tag(0).into());
     match simulate(&b.build(), &SimConfig::deterministic()) {
         Err(SimError::Deadlock(r)) => {
             assert_eq!(r.blocked.len(), 2);
@@ -68,10 +76,14 @@ fn ssend_ring_completes() {
     // Ring where each rank receives before ssending onward: no deadlock.
     let n = 5u32;
     let mut b = ProgramBuilder::new(n);
-    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 1).recv(Rank(n - 1), Tag(0).into());
+    b.rank(Rank(0))
+        .ssend(Rank(1), Tag(0), 1)
+        .recv(Rank(n - 1), Tag(0).into());
     for r in 1..n {
         let next = Rank((r + 1) % n);
-        b.rank(Rank(r)).recv(Rank(r - 1), Tag(0).into()).ssend(next, Tag(0), 1);
+        b.rank(Rank(r))
+            .recv(Rank(r - 1), Tag(0).into())
+            .ssend(next, Tag(0), 1);
     }
     let t = simulate(&b.build(), &SimConfig::with_nd_percent(100.0, 3)).unwrap();
     assert_eq!(t.meta.messages, n as u64);
@@ -116,7 +128,9 @@ fn self_ssend_deadlocks() {
     // A rank that ssends to itself before posting the receive can never
     // proceed (rendezvous needs the matching receive).
     let mut b = ProgramBuilder::new(1);
-    b.rank(Rank(0)).ssend(Rank(0), Tag(0), 1).recv(Rank(0), Tag(0).into());
+    b.rank(Rank(0))
+        .ssend(Rank(0), Tag(0), 1)
+        .recv(Rank(0), Tag(0).into());
     assert!(matches!(
         simulate(&b.build(), &SimConfig::deterministic()),
         Err(SimError::Deadlock(_))

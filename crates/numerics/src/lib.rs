@@ -19,7 +19,7 @@
 //! ```
 //! use anacin_numerics::prelude::*;
 //!
-//! let report = run(&ReductionExperiment { procs: 8, runs: 10, ..Default::default() });
+//! let report = run(&ReductionExperiment { procs: 12, runs: 12, ..Default::default() });
 //! assert!(report.outcome(Reduction::Sequential).distinct > 1);
 //! assert_eq!(report.outcome(Reduction::Sorted).distinct, 1);
 //! ```
@@ -33,8 +33,7 @@ pub mod sum;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::drift::{
-        run as run_drift, sweep_iterations as sweep_drift_iterations, DriftExperiment,
-        DriftReport,
+        run as run_drift, sweep_iterations as sweep_drift_iterations, DriftExperiment, DriftReport,
     };
     pub use crate::experiment::{
         contributions, run, ReductionExperiment, ReductionOutcome, ReductionReport,

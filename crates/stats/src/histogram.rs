@@ -47,10 +47,7 @@ impl Histogram {
     /// The `(lo, hi)` edges of bin `i`.
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (
-            self.lo + width * i as f64,
-            self.lo + width * (i + 1) as f64,
-        )
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
     }
 
     /// Relative frequencies summing to 1 (all zeros for an empty sample).

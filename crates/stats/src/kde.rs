@@ -56,9 +56,11 @@ pub struct KdeCurve {
 pub fn kde_curve(sample: &[f64], points: usize) -> KdeCurve {
     assert!(points >= 2, "need at least two grid points");
     let h = silverman_bandwidth(sample);
-    let (lo, hi) = sample.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, u), &x| {
-        (l.min(x), u.max(x))
-    });
+    let (lo, hi) = sample
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, u), &x| {
+            (l.min(x), u.max(x))
+        });
     let (lo, hi) = if sample.is_empty() {
         (0.0, 1.0)
     } else {
@@ -100,20 +102,23 @@ mod tests {
     fn kde_integrates_to_one() {
         let sample = [1.0, 2.0, 2.5, 3.0, 10.0, 11.0];
         let c = kde_curve(&sample, 512);
-        assert!((c.integral() - 1.0).abs() < 0.02, "integral {}", c.integral());
+        assert!(
+            (c.integral() - 1.0).abs() < 0.02,
+            "integral {}",
+            c.integral()
+        );
     }
 
     #[test]
     fn kde_peaks_near_modes() {
         let sample = [0.0, 0.1, -0.1, 0.05, 5.0];
         let c = kde_curve(&sample, 256);
-        let argmax = c
-            .xs
-            .iter()
-            .zip(&c.densities)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let argmax =
+            c.xs.iter()
+                .zip(&c.densities)
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
         assert!(argmax.abs() < 0.5, "peak at {argmax}, expected near 0");
     }
 

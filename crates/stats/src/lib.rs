@@ -21,8 +21,8 @@
 
 pub mod bootstrap;
 pub mod correlation;
-pub mod effect;
 pub mod describe;
+pub mod effect;
 pub mod histogram;
 pub mod kde;
 pub mod mwu;
@@ -33,8 +33,8 @@ pub mod violin;
 pub mod prelude {
     pub use crate::bootstrap::{bootstrap_ci, mean_ci, ConfidenceInterval};
     pub use crate::correlation::{pearson, ranks, spearman};
-    pub use crate::effect::{cliffs_delta, cliffs_magnitude, kendall_tau, linear_fit, LinearFit};
     pub use crate::describe::Summary;
+    pub use crate::effect::{cliffs_delta, cliffs_magnitude, kendall_tau, linear_fit, LinearFit};
     pub use crate::histogram::Histogram;
     pub use crate::kde::{kde_curve, silverman_bandwidth, KdeCurve};
     pub use crate::mwu::{mann_whitney_u, normal_cdf, MwuResult};

@@ -1,0 +1,369 @@
+//! Seeded random generation of arbitrary-but-terminating MPI programs.
+//!
+//! The generator is the fuzzing front end of the deterministic-simulation
+//! harness: from one `u64` seed it derives a complete [`Program`] — a
+//! random DAG of sends, receives (blocking/nonblocking, wildcard/specific),
+//! waits, computes, pairwise exchanges and collectives across 2–16 ranks —
+//! that is *guaranteed to terminate* under the simulator. Termination is by
+//! construction, not by timeout, so a deadlock found downstream is always a
+//! simulator bug, never a generator artifact.
+//!
+//! # Why generated programs cannot deadlock
+//!
+//! Programs are sequences of *rounds*. Within a point-to-point round every
+//! rank issues all of its sends before any of its receives, per-round tags
+//! isolate matching between rounds, and receive counts equal inbound send
+//! counts per `(receiver, round)`. Induction over rounds then gives
+//! progress: once every rank finishes round `k-1`, every round-`k` message
+//! is injected (eager sends and `isend`s inject immediately; `ssend`
+//! injects at issue and only *completes* late), so every round-`k` receive
+//! is satisfiable and every rank finishes round `k`. The non-obvious
+//! constraints that keep the induction sound:
+//!
+//! * a rank issues at most one `ssend` per round, as its **last** send,
+//!   never to a rank that also `ssend`s in that round and never to a
+//!   chaotic rank (whose deferred matching could park the rendezvous
+//!   behind its own later `ssend`) — so the rendezvous "waits-for"
+//!   relation is acyclic and its sinks always drain;
+//! * within one `(receiver, round)` the receives are either **all**
+//!   source-wildcards or **all** source-specific — mixing lets a wildcard
+//!   steal a message a later specific receive needs;
+//! * fully wild receives (`MPI_ANY_SOURCE` + `MPI_ANY_TAG`) ignore the
+//!   round-tag isolation, so a rank using them must use them for **every**
+//!   receive it posts, and such "chaotic" ranks only appear in programs
+//!   with no collectives or exchanges (whose internal messages a tag
+//!   wildcard could steal);
+//! * no self-`ssend` (a rank cannot rendezvous with itself), and no
+//!   self-sends at all for simplicity.
+//!
+//! Collective rounds reuse `anacin_mpisim::collectives` (dissemination
+//! barrier, binomial trees), which are deadlock-free classics; exchange
+//! rounds pair ranks with `sendrecv`, the textbook deadlock-free idiom.
+
+use anacin_mpisim::collectives;
+use anacin_mpisim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the random program generator.
+///
+/// Every field is derivable from a single seed via [`GenConfig::from_seed`],
+/// which is the form the property suites use; the CLI exposes the
+/// individual knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Number of ranks (clamped to 2..=16).
+    pub world_size: u32,
+    /// Number of rounds (clamped to 1..=8).
+    pub rounds: u32,
+    /// Maximum sends per rank per point-to-point round (clamped to 1..=4).
+    pub max_sends: u32,
+    /// Probability that a `(receiver, round)` uses source wildcards.
+    pub wildcard_prob: f64,
+    /// Probability that a send/receive is nonblocking.
+    pub nonblocking_prob: f64,
+    /// Probability that a round is a collective instead of point-to-point.
+    pub collective_prob: f64,
+    /// Probability that a round is a pairwise `sendrecv` exchange.
+    pub exchange_prob: f64,
+    /// Probability that a rank is "chaotic": all its receives are posted
+    /// with both source and tag wildcards. Only effective in programs
+    /// without collectives/exchanges.
+    pub chaos_prob: f64,
+    /// RNG seed for all structural draws.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Derive a full configuration from one seed, covering the whole
+    /// supported parameter space (2–16 ranks, mixed op kinds).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        // One program in four is pure point-to-point, which is the only
+        // shape that admits chaotic ranks; the rest mix in collectives and
+        // exchanges.
+        let pure_p2p = rng.gen_bool(0.25);
+        GenConfig {
+            world_size: rng.gen_range(2..=16),
+            rounds: rng.gen_range(1..=6),
+            max_sends: rng.gen_range(1..=3),
+            wildcard_prob: rng.gen_range(0.0..=1.0),
+            nonblocking_prob: rng.gen_range(0.0..=0.8),
+            collective_prob: if pure_p2p { 0.0 } else { 0.25 },
+            exchange_prob: if pure_p2p { 0.0 } else { 0.2 },
+            chaos_prob: if pure_p2p { 0.3 } else { 0.0 },
+            seed,
+        }
+    }
+
+    fn clamped(&self) -> GenConfig {
+        GenConfig {
+            world_size: self.world_size.clamp(2, 16),
+            rounds: self.rounds.clamp(1, 8),
+            max_sends: self.max_sends.clamp(1, 4),
+            wildcard_prob: self.wildcard_prob.clamp(0.0, 1.0),
+            nonblocking_prob: self.nonblocking_prob.clamp(0.0, 1.0),
+            collective_prob: self.collective_prob.clamp(0.0, 1.0),
+            exchange_prob: self.exchange_prob.clamp(0.0, 1.0),
+            chaos_prob: self.chaos_prob.clamp(0.0, 1.0),
+            seed: self.seed,
+        }
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig::from_seed(0)
+    }
+}
+
+/// What a generated round contains (reported for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundKind {
+    /// Random point-to-point traffic.
+    PointToPoint,
+    /// A whole-world collective (barrier/bcast/reduce/allreduce).
+    Collective,
+    /// Pairwise `sendrecv` exchange.
+    Exchange,
+}
+
+/// A generated program plus the structural facts the validator needs.
+#[derive(Debug)]
+pub struct GeneratedProgram {
+    /// The runnable program.
+    pub program: Program,
+    /// The configuration that produced it.
+    pub config: GenConfig,
+    /// The kind of each round, in order.
+    pub round_kinds: Vec<RoundKind>,
+    /// Ranks whose receives are all fully wild (source + tag).
+    pub chaotic_ranks: Vec<Rank>,
+}
+
+/// Generate a deadlock-free random program from `cfg`.
+///
+/// The same configuration always yields the same program (the generator is
+/// a pure function of `cfg`), which the differential oracles rely on.
+pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
+    let cfg = cfg.clamped();
+    let n = cfg.world_size;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = ProgramBuilder::new(n);
+
+    // Chaotic ranks are only sound when every message in the program is
+    // point-to-point user traffic (tag wildcards would steal collective and
+    // exchange messages).
+    let pure_p2p = cfg.collective_prob == 0.0 && cfg.exchange_prob == 0.0;
+    let chaotic: Vec<bool> = (0..n)
+        .map(|_| pure_p2p && rng.gen_bool(cfg.chaos_prob))
+        .collect();
+
+    let mut round_kinds = Vec::new();
+    let mut collective_instance = 0i32;
+    for round in 0..cfg.rounds {
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < cfg.collective_prob {
+            emit_collective_round(&mut b, &mut rng, n, &mut collective_instance);
+            round_kinds.push(RoundKind::Collective);
+        } else if draw < cfg.collective_prob + cfg.exchange_prob {
+            emit_exchange_round(&mut b, &mut rng, n, round);
+            round_kinds.push(RoundKind::Exchange);
+        } else {
+            emit_p2p_round(&mut b, &mut rng, &cfg, round, &chaotic);
+            round_kinds.push(RoundKind::PointToPoint);
+        }
+    }
+
+    let program = b.build();
+    debug_assert!(program.check_balance().is_ok());
+    debug_assert!(program.check_requests().is_ok());
+    GeneratedProgram {
+        program,
+        config: cfg,
+        round_kinds,
+        chaotic_ranks: chaotic
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(r, _)| Rank(r as u32))
+            .collect(),
+    }
+}
+
+/// Tag used by point-to-point/exchange traffic of one round. Stays far
+/// below `collectives`' reserved tag space.
+fn round_tag(round: u32) -> Tag {
+    Tag(round as i32)
+}
+
+fn emit_p2p_round(
+    b: &mut ProgramBuilder,
+    rng: &mut SmallRng,
+    cfg: &GenConfig,
+    round: u32,
+    chaotic: &[bool],
+) {
+    let n = cfg.world_size;
+    let tag = round_tag(round);
+
+    // 1. Draw the traffic matrix: for each rank a multiset of destinations,
+    //    already in issue order (ranks never send to themselves).
+    let sends: Vec<Vec<Rank>> = (0..n)
+        .map(|r| {
+            let count = rng.gen_range(0..=cfg.max_sends);
+            let mut dsts: Vec<Rank> = (0..count)
+                .map(|_| {
+                    let d = rng.gen_range(0..n - 1);
+                    Rank(if d >= r { d + 1 } else { d })
+                })
+                .collect();
+            shuffle(rng, &mut dsts);
+            dsts
+        })
+        .collect();
+
+    // 2. Elect ssend-ers: at most one ssend per rank (its last send), and
+    //    an ssend's destination must not itself ssend this round, keeping
+    //    the rendezvous waits-for relation acyclic. A chaotic destination
+    //    is also ruled out: its ANY/ANY receives may match later-round
+    //    messages first, deferring the rendezvous past its own next-round
+    //    ssend — a cross-round waits-for cycle (observed as a deadlock at
+    //    generator seed 2196 before this constraint existed).
+    let mut is_ssender = vec![false; n as usize];
+    let mut is_ssend_target = vec![false; n as usize];
+    for r in 0..n as usize {
+        if let Some(&dst) = sends[r].last() {
+            if rng.gen_bool(0.25)
+                && !is_ssender[dst.index()]
+                && !is_ssend_target[r]
+                && !chaotic[dst.index()]
+            {
+                is_ssender[r] = true;
+                is_ssend_target[dst.index()] = true;
+            }
+        }
+    }
+
+    // 3. Send sections: mix Send/Isend, the elected ssend last.
+    for r in 0..n {
+        let my = sends[r as usize].clone();
+        let mut rb = b.rank(Rank(r));
+        rb.push_frame(format!("round_{round}"));
+        if rng.gen_bool(0.3) {
+            rb.compute(rng.gen_range(10..500));
+        }
+        let eager = my.len() - usize::from(is_ssender[r as usize]);
+        let mut pending = Vec::new();
+        for &dst in &my[..eager] {
+            let bytes = rng.gen_range(1..=4096);
+            if rng.gen_bool(cfg.nonblocking_prob) {
+                pending.push(rb.isend(dst, tag, bytes));
+            } else {
+                rb.send(dst, tag, bytes);
+            }
+        }
+        if is_ssender[r as usize] {
+            rb.ssend(*my.last().unwrap(), tag, rng.gen_range(1..=4096));
+        }
+        if !pending.is_empty() {
+            if pending.len() > 1 && rng.gen_bool(0.5) {
+                rb.waitall(pending);
+            } else {
+                for req in pending {
+                    rb.wait(req);
+                }
+            }
+        }
+        rb.pop_frame();
+    }
+
+    // 4. Receive sections: per receiver exactly as many receives as inbound
+    //    messages, all-wildcard or all-specific per the soundness rules.
+    let mut inbound: Vec<Vec<Rank>> = vec![Vec::new(); n as usize];
+    for (src, dsts) in sends.iter().enumerate() {
+        for &dst in dsts {
+            inbound[dst.index()].push(Rank(src as u32));
+        }
+    }
+    for r in 0..n {
+        let mut srcs = std::mem::take(&mut inbound[r as usize]);
+        if srcs.is_empty() {
+            continue;
+        }
+        shuffle(rng, &mut srcs);
+        let fully_wild = chaotic[r as usize];
+        let wildcard = fully_wild || rng.gen_bool(cfg.wildcard_prob);
+        let nonblocking = rng.gen_bool(cfg.nonblocking_prob);
+        let mut rb = b.rank(Rank(r));
+        rb.push_frame(format!("round_{round}"));
+        let mut pending = Vec::new();
+        for &src in &srcs {
+            let spec = if fully_wild {
+                TagSpec::Any
+            } else {
+                TagSpec::Tag(tag)
+            };
+            match (wildcard, nonblocking) {
+                (true, true) => pending.push(rb.irecv_any(spec)),
+                (true, false) => {
+                    rb.recv_any(spec);
+                }
+                (false, true) => pending.push(rb.irecv(src, spec)),
+                (false, false) => {
+                    rb.recv(src, spec);
+                }
+            }
+        }
+        if !pending.is_empty() {
+            if rng.gen_bool(0.5) {
+                rb.waitall(pending);
+            } else {
+                // Waiting in a shuffled order exercises the post-ordinal
+                // vs. completion-order bookkeeping.
+                shuffle(rng, &mut pending);
+                for req in pending {
+                    rb.wait(req);
+                }
+            }
+        }
+        rb.pop_frame();
+    }
+}
+
+fn emit_collective_round(b: &mut ProgramBuilder, rng: &mut SmallRng, n: u32, instance: &mut i32) {
+    let root = Rank(rng.gen_range(0..n));
+    let bytes = rng.gen_range(1..=4096);
+    match rng.gen_range(0..4) {
+        0 => collectives::barrier(b, n, *instance),
+        1 => collectives::broadcast(b, n, root, bytes, *instance),
+        2 => collectives::reduce(b, n, root, bytes, *instance),
+        _ => collectives::allreduce(b, n, bytes, *instance),
+    }
+    *instance += 1;
+}
+
+fn emit_exchange_round(b: &mut ProgramBuilder, rng: &mut SmallRng, n: u32, round: u32) {
+    let tag = round_tag(round);
+    let mut ranks: Vec<u32> = (0..n).collect();
+    shuffle(rng, &mut ranks);
+    // Pair consecutive entries; an odd rank out sits the round out.
+    for pair in ranks.chunks_exact(2) {
+        let (a, z) = (Rank(pair[0]), Rank(pair[1]));
+        let bytes = rng.gen_range(1..=4096);
+        b.rank(a).scoped(format!("exchange_{round}"), |rb| {
+            rb.sendrecv(z, z, tag, bytes);
+        });
+        b.rank(z).scoped(format!("exchange_{round}"), |rb| {
+            rb.sendrecv(a, a, tag, bytes);
+        });
+    }
+}
+
+/// Fisher–Yates shuffle (the stand-in `rand` has no `SliceRandom`).
+fn shuffle<T>(rng: &mut SmallRng, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}

@@ -1,0 +1,227 @@
+//! Differential and metamorphic oracles over the simulator pipeline.
+//!
+//! An *oracle* here is a property that must hold for **every** program the
+//! generator can produce, at **every** non-determinism level — so the
+//! harness never needs a known-good output to compare against:
+//!
+//! * **bit reproducibility** — the simulator is a pure function of
+//!   `(program, config)`: the same seed yields the identical trace;
+//! * **seed invariance at 0% ND** — with non-determinism off, the seed
+//!   must not matter: all seeds give the same match order and zero kernel
+//!   distance;
+//! * **replay collapses ND to zero** — recording one run's matching
+//!   decisions and replaying them under fresh seeds must reproduce the
+//!   recorded match order exactly and give zero kernel distance, at any ND
+//!   level (the paper's ReMPI demonstration, promoted to a law);
+//! * **kernel-distance axioms** — for every kernel in `anacin-kernels`,
+//!   `d(g, g) = 0`, `d(g, h) = d(h, g)`, `d(g, h) >= 0`;
+//! * **thread invariance** — Gram matrices are identical whatever worker
+//!   thread count computed them.
+
+use crate::generator::{generate, GenConfig, GeneratedProgram};
+use crate::validate::{validate_replay_alignment, validate_trace, ValidationReport};
+use anacin_event_graph::EventGraph;
+use anacin_kernels::prelude::*;
+use anacin_mpisim::prelude::*;
+use anacin_mpisim::replay::MatchRecord;
+
+/// Kernel-distance equality tolerance. Most feature maps are
+/// integer-counted and exact, but the graphlet kernel's sampled
+/// frequencies leave `sqrt`-of-epsilon residue in self-distances
+/// (~1.5e-8 observed), so the tolerance sits comfortably above that.
+const TOL: f64 = 1e-6;
+
+/// All kernels under test, boxed once.
+fn all_kernels() -> Vec<(&'static str, Box<dyn GraphKernel>)> {
+    vec![
+        ("wl", Box::new(WlKernel::default())),
+        (
+            "vertex-histogram",
+            Box::new(VertexHistogramKernel::default()),
+        ),
+        ("edge-histogram", Box::new(EdgeHistogramKernel::default())),
+        ("shortest-path", Box::new(ShortestPathKernel::default())),
+        ("graphlet", Box::new(GraphletKernel::default())),
+    ]
+}
+
+fn sim(p: &Program, nd: f64, seed: u64) -> Result<Trace, String> {
+    simulate(p, &SimConfig::with_nd_percent(nd, seed))
+        .map_err(|e| format!("simulate(nd={nd}, seed={seed}) failed: {e:?}"))
+}
+
+fn traces_identical(a: &Trace, b: &Trace) -> bool {
+    (0..a.world_size()).all(|r| a.rank_events(Rank(r)) == b.rank_events(Rank(r)))
+        && a.meta.makespan == b.meta.makespan
+}
+
+/// Same program, same config, twice: the traces must be identical events,
+/// times and all.
+pub fn oracle_bit_reproducibility(p: &Program, nd: f64, seed: u64) -> Result<(), String> {
+    let a = sim(p, nd, seed)?;
+    let b = sim(p, nd, seed)?;
+    if !traces_identical(&a, &b) {
+        return Err(format!(
+            "two simulations with nd={nd} seed={seed} produced different traces"
+        ));
+    }
+    Ok(())
+}
+
+/// At 0% ND the seed must be irrelevant: identical match orders and zero
+/// kernel distance across all `seeds`.
+pub fn oracle_nd0_seed_invariance(p: &Program, seeds: &[u64]) -> Result<(), String> {
+    let base = sim(p, 0.0, seeds[0])?;
+    let base_graph = EventGraph::from_trace(&base);
+    let wl = WlKernel::default();
+    for &seed in &seeds[1..] {
+        let t = sim(p, 0.0, seed)?;
+        for r in 0..p.world_size() {
+            if t.match_order(Rank(r)) != base.match_order(Rank(r)) {
+                return Err(format!(
+                    "0% ND but seeds {} and {seed} disagree on rank {r}'s match order",
+                    seeds[0]
+                ));
+            }
+        }
+        let d = distance(&wl, &base_graph, &EventGraph::from_trace(&t));
+        if d > TOL {
+            return Err(format!(
+                "0% ND but seeds {} and {seed} are {d} apart in WL kernel distance",
+                seeds[0]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Record one run at `nd`, replay it under each of `replay_seeds`: the
+/// replayed trace must align with the record receive-for-receive and sit at
+/// zero kernel distance from the recorded run.
+pub fn oracle_replay_zero_distance(
+    p: &Program,
+    nd: f64,
+    record_seed: u64,
+    replay_seeds: &[u64],
+) -> Result<usize, String> {
+    let recorded = sim(p, nd, record_seed)?;
+    let record = MatchRecord::from_trace(&recorded);
+    let recorded_graph = EventGraph::from_trace(&recorded);
+    let wl = WlKernel::default();
+    let mut checked = 0;
+    for &seed in replay_seeds {
+        let replayed = simulate_replay(p, &SimConfig::with_nd_percent(nd, seed), &record)
+            .map_err(|e| format!("replay under seed {seed} failed: {e:?}"))?;
+        checked += validate_replay_alignment(&replayed, &record)?;
+        for r in 0..p.world_size() {
+            if replayed.match_order(Rank(r)) != recorded.match_order(Rank(r)) {
+                return Err(format!(
+                    "replay under seed {seed} changed rank {r}'s match order"
+                ));
+            }
+        }
+        let d = distance(&wl, &recorded_graph, &EventGraph::from_trace(&replayed));
+        if d > TOL {
+            return Err(format!(
+                "replay under seed {seed} left WL kernel distance {d}, expected 0"
+            ));
+        }
+    }
+    Ok(checked)
+}
+
+/// The kernel-distance axioms — identity, symmetry, non-negativity — for
+/// every kernel in `anacin-kernels`, over every pair in `graphs`.
+pub fn oracle_kernel_axioms(graphs: &[EventGraph]) -> Result<usize, String> {
+    let mut checked = 0;
+    for (name, k) in all_kernels() {
+        for (i, g) in graphs.iter().enumerate() {
+            let self_d = distance(k.as_ref(), g, g);
+            if self_d.is_nan() || self_d.abs() > TOL {
+                return Err(format!("{name}: d(g{i}, g{i}) = {self_d}, expected 0"));
+            }
+            for (j, h) in graphs.iter().enumerate().skip(i + 1) {
+                let gh = distance(k.as_ref(), g, h);
+                let hg = distance(k.as_ref(), h, g);
+                if !gh.is_finite() || gh < 0.0 {
+                    return Err(format!("{name}: d(g{i}, g{j}) = {gh}, not a distance"));
+                }
+                if (gh - hg).abs() > TOL {
+                    return Err(format!(
+                        "{name}: d(g{i}, g{j}) = {gh} but d(g{j}, g{i}) = {hg}"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Gram matrices must not depend on the worker thread count.
+pub fn oracle_thread_invariance(graphs: &[EventGraph]) -> Result<(), String> {
+    let wl = WlKernel::default();
+    let serial = gram_matrix(&wl, graphs, 1);
+    let parallel = gram_matrix(&wl, graphs, 4);
+    for i in 0..graphs.len() {
+        for j in 0..graphs.len() {
+            if serial.value(i, j) != parallel.value(i, j) {
+                return Err(format!(
+                    "gram[{i}][{j}] differs across thread counts: {} vs {}",
+                    serial.value(i, j),
+                    parallel.value(i, j)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything the harness asserts about one generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleSummary {
+    /// Validator counts from the highest-ND run.
+    pub validation: ValidationReport,
+    /// Receives whose replay decisions were checked against the record.
+    pub replayed_receives: usize,
+    /// Kernel-axiom pairs checked (per kernel).
+    pub kernel_pairs: usize,
+}
+
+/// Generate the program for `seed` and run the full battery: structural
+/// validation at 0/50/100% ND plus every oracle. This is the harness's
+/// single-seed entry point, shared by the property suite and the CLI.
+pub fn check_seed(seed: u64) -> Result<OracleSummary, String> {
+    check_generated(&generate(&GenConfig::from_seed(seed)))
+}
+
+/// Run the full battery against an already generated program.
+pub fn check_generated(gp: &GeneratedProgram) -> Result<OracleSummary, String> {
+    let p = &gp.program;
+    let seed = gp.config.seed;
+    p.check_balance()
+        .map_err(|e| format!("generator emitted unbalanced program: {e}"))?;
+    p.check_requests()
+        .map_err(|e| format!("generator emitted bad request usage: {e}"))?;
+
+    let mut validation = ValidationReport::default();
+    let mut graphs = Vec::new();
+    for nd in [0.0, 50.0, 100.0] {
+        let t = sim(p, nd, seed)?;
+        validation = validate_trace(p, &t).map_err(|e| format!("nd={nd}: {e}"))?;
+        graphs.push(EventGraph::from_trace(&t));
+    }
+
+    oracle_bit_reproducibility(p, 100.0, seed)?;
+    oracle_nd0_seed_invariance(p, &[seed, seed ^ 1, seed.wrapping_add(17)])?;
+    let replayed_receives =
+        oracle_replay_zero_distance(p, 100.0, seed, &[seed ^ 2, seed.wrapping_add(33)])?;
+    let kernel_pairs = oracle_kernel_axioms(&graphs)?;
+    oracle_thread_invariance(&graphs)?;
+
+    Ok(OracleSummary {
+        validation,
+        replayed_receives,
+        kernel_pairs,
+    })
+}

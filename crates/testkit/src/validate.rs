@@ -1,0 +1,240 @@
+//! Structural invariants every simulator trace must satisfy.
+//!
+//! The validator is the harness's universal postcondition: whatever random
+//! program the generator produced and whatever ND level the network was
+//! configured with, the resulting trace must pass every check here. The
+//! checks are deliberately independent of the generator (they take any
+//! `(Program, Trace)` pair), so they also guard traces from the
+//! mini-applications and from replayed runs.
+
+use anacin_event_graph::algo::is_dag;
+use anacin_event_graph::lamport::{lamport_times, verify_lamport};
+use anacin_event_graph::EventGraph;
+use anacin_mpisim::prelude::*;
+use anacin_mpisim::replay::MatchRecord;
+use anacin_mpisim::trace::{EventId, EventKind};
+use std::collections::{HashMap, HashSet};
+
+/// Counts gathered while validating, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Events across all ranks.
+    pub events: usize,
+    /// Messages (send/recv pairs) verified.
+    pub messages: usize,
+    /// Receives posted with a wildcard.
+    pub wildcard_recvs: usize,
+    /// Edges whose Lamport ordering was checked.
+    pub lamport_edges: usize,
+}
+
+/// Check every structural invariant of `trace` against its `program`.
+///
+/// Invariants, in order:
+/// 1. internal linkage (`Trace::validate`): every receive points at the
+///    send that produced its message;
+/// 2. rank framing: per rank, exactly one `Init` (first) and one
+///    `Finalize` (last), with non-decreasing event times;
+/// 3. message conservation: send/receive event counts equal the program's
+///    op counts, no message is lost (`unmatched_messages == 0`), no two
+///    receives consume the same send, and per channel the observed
+///    sequence numbers are exactly `0..k`;
+/// 4. replay bookkeeping: each rank's receive `post_ordinal`s form a
+///    permutation of `0..recv_count`;
+/// 5. causal sanity: the event graph is a DAG and Lamport timestamps
+///    strictly increase along every program-order and message edge.
+pub fn validate_trace(program: &Program, trace: &Trace) -> Result<ValidationReport, String> {
+    if trace.world_size() != program.world_size() {
+        return Err(format!(
+            "world size mismatch: program {} vs trace {}",
+            program.world_size(),
+            trace.world_size()
+        ));
+    }
+
+    // 1. Receive→send linkage.
+    let linked = trace.validate()?;
+
+    // 2. Per-rank framing and time monotonicity.
+    for r in 0..trace.world_size() {
+        let rank = Rank(r);
+        let evs = trace.rank_events(rank);
+        if evs.is_empty() {
+            return Err(format!("{rank} has no events"));
+        }
+        if !matches!(evs.first().unwrap().kind, EventKind::Init) {
+            return Err(format!("{rank} does not start with Init"));
+        }
+        if !matches!(evs.last().unwrap().kind, EventKind::Finalize) {
+            return Err(format!("{rank} does not end with Finalize"));
+        }
+        let inner = &evs[1..evs.len() - 1];
+        if inner
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Init | EventKind::Finalize))
+        {
+            return Err(format!("{rank} has Init/Finalize in the interior"));
+        }
+        for w in evs.windows(2) {
+            if w[1].time < w[0].time {
+                return Err(format!(
+                    "{rank} event times regress: {:?} then {:?}",
+                    w[0].time, w[1].time
+                ));
+            }
+        }
+    }
+
+    // 3. Message conservation.
+    let mut sends = 0usize;
+    let mut recvs = 0usize;
+    let mut wildcard_recvs = 0usize;
+    let mut consumed: HashSet<EventId> = HashSet::new();
+    let mut sent_seqs: HashMap<(Rank, Rank), Vec<u64>> = HashMap::new();
+    let mut recv_seqs: HashMap<(Rank, Rank), Vec<u64>> = HashMap::new();
+    for (id, e) in trace.iter() {
+        match e.kind {
+            EventKind::Send { dst, seq, .. } => {
+                sends += 1;
+                sent_seqs.entry((id.rank, dst)).or_default().push(seq.0);
+            }
+            EventKind::Recv {
+                src,
+                seq,
+                send_event,
+                wildcard,
+                ..
+            } => {
+                recvs += 1;
+                wildcard_recvs += usize::from(wildcard);
+                recv_seqs.entry((src, id.rank)).or_default().push(seq.0);
+                if !consumed.insert(send_event) {
+                    return Err(format!(
+                        "send {send_event:?} consumed by more than one receive"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if sends != program.total_sends() {
+        return Err(format!(
+            "trace has {sends} sends, program issues {}",
+            program.total_sends()
+        ));
+    }
+    if recvs != program.total_receives() {
+        return Err(format!(
+            "trace has {recvs} receives, program posts {}",
+            program.total_receives()
+        ));
+    }
+    if linked != recvs {
+        return Err(format!(
+            "linkage checked {linked} receives, trace has {recvs}"
+        ));
+    }
+    if trace.meta.unmatched_messages != 0 {
+        return Err(format!(
+            "{} message(s) were never received",
+            trace.meta.unmatched_messages
+        ));
+    }
+    if trace.meta.messages != sends as u64 {
+        return Err(format!(
+            "meta reports {} messages, trace has {sends} sends",
+            trace.meta.messages
+        ));
+    }
+    for (channel, seqs) in &mut sent_seqs {
+        seqs.sort_unstable();
+        if seqs.iter().enumerate().any(|(i, &s)| s != i as u64) {
+            return Err(format!(
+                "channel {channel:?} send seqs are not 0..{}: {seqs:?}",
+                seqs.len()
+            ));
+        }
+        let mut got = recv_seqs.remove(channel).unwrap_or_default();
+        got.sort_unstable();
+        if got != *seqs {
+            return Err(format!(
+                "channel {channel:?} receives {got:?} do not cover sends {seqs:?}"
+            ));
+        }
+    }
+    if let Some(extra) = recv_seqs.keys().next() {
+        return Err(format!("receives on channel {extra:?} with no sends"));
+    }
+
+    // 4. Post-ordinals are a permutation of 0..recv_count per rank.
+    for r in 0..trace.world_size() {
+        let rank = Rank(r);
+        let mut ordinals: Vec<u32> = trace
+            .rank_events(rank)
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Recv { post_ordinal, .. } => Some(post_ordinal),
+                _ => None,
+            })
+            .collect();
+        ordinals.sort_unstable();
+        if ordinals.iter().enumerate().any(|(i, &o)| o != i as u32) {
+            return Err(format!(
+                "{rank} receive post-ordinals are not a permutation: {ordinals:?}"
+            ));
+        }
+    }
+
+    // 5. Causal sanity via the event graph.
+    let g = EventGraph::from_trace(trace);
+    if !is_dag(&g) {
+        return Err("event graph has a cycle".to_string());
+    }
+    let ts = lamport_times(&g);
+    let lamport_edges = verify_lamport(&g, &ts)
+        .map_err(|(a, b)| format!("Lamport time does not increase along edge {a:?} -> {b:?}"))?;
+
+    Ok(ValidationReport {
+        events: trace.total_events(),
+        messages: sends,
+        wildcard_recvs,
+        lamport_edges,
+    })
+}
+
+/// Check that a replayed trace honoured `record`: the receive posted
+/// `ordinal`-th on each rank matched exactly the recorded `(src, seq)`.
+pub fn validate_replay_alignment(replayed: &Trace, record: &MatchRecord) -> Result<usize, String> {
+    let mut checked = 0;
+    for r in 0..replayed.world_size() {
+        let rank = Rank(r);
+        for e in replayed.rank_events(rank) {
+            if let EventKind::Recv {
+                src,
+                seq,
+                post_ordinal,
+                ..
+            } = e.kind
+            {
+                match record.matched(rank, post_ordinal as usize) {
+                    Some((want_src, want_seq)) => {
+                        if (src, seq) != (want_src, want_seq) {
+                            return Err(format!(
+                                "{rank} receive #{post_ordinal} matched ({src}, {}) \
+                                 but the record says ({want_src}, {})",
+                                seq.0, want_seq.0
+                            ));
+                        }
+                    }
+                    None => {
+                        return Err(format!(
+                            "{rank} receive #{post_ordinal} has no recorded decision"
+                        ))
+                    }
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}

@@ -185,10 +185,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_peak() {
-        let s = bar_chart(
-            &[("big".to_string(), 1.0), ("half".to_string(), 0.5)],
-            10,
-        );
+        let s = bar_chart(&[("big".to_string(), 1.0), ("half".to_string(), 0.5)], 10);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0].matches('#').count(), 10);
         assert_eq!(lines[1].matches('#').count(), 5);
@@ -206,11 +203,7 @@ mod tests {
         assert_eq!(s.lines().count(), 4);
         assert!(s.contains("nd%"));
         // Monotone star counts.
-        let stars: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.matches('*').count())
-            .collect();
+        let stars: Vec<usize> = s.lines().skip(1).map(|l| l.matches('*').count()).collect();
         assert!(stars[0] <= stars[1] && stars[1] <= stars[2]);
     }
 

@@ -84,9 +84,13 @@ pub fn gantt_svg(tl: &Timeline, title: &str) -> String {
         }
     }
     // Legend.
-    for (i, a) in [Activity::Sending, Activity::Receiving, Activity::WindingDown]
-        .iter()
-        .enumerate()
+    for (i, a) in [
+        Activity::Sending,
+        Activity::Receiving,
+        Activity::WindingDown,
+    ]
+    .iter()
+    .enumerate()
     {
         let x = margin + i as f64 * 130.0;
         let y = height - 24.0;

@@ -17,7 +17,13 @@ pub fn heatmap_ascii(n: usize, value: impl Fn(usize, usize) -> f64) -> String {
         }
     }
     let mut s = String::new();
-    let _ = writeln!(s, "    {}", (0..n).map(|j| format!("{:>2}", j % 100)).collect::<String>());
+    let _ = writeln!(
+        s,
+        "    {}",
+        (0..n)
+            .map(|j| format!("{:>2}", j % 100))
+            .collect::<String>()
+    );
     for i in 0..n {
         let _ = write!(s, "{i:>3} ");
         for j in 0..n {

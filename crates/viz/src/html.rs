@@ -29,7 +29,9 @@ pub struct HtmlReport {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 impl HtmlReport {
@@ -109,12 +111,17 @@ impl HtmlReport {
             esc(&self.subtitle)
         );
         for sec in &self.sections {
-            let _ = write!(s, "<h2>{}</h2>\n<p>{}</p>\n", esc(&sec.title), esc(&sec.prose));
+            let _ = write!(
+                s,
+                "<h2>{}</h2>\n<p>{}</p>\n",
+                esc(&sec.title),
+                esc(&sec.prose)
+            );
             if let Some(svg) = &sec.svg {
                 let _ = write!(s, "<figure>\n{svg}\n</figure>\n");
             }
             if let Some(pre) = &sec.pre {
-                let _ = write!(s, "<pre>{}</pre>\n", esc(pre));
+                let _ = writeln!(s, "<pre>{}</pre>", esc(pre));
             }
         }
         s.push_str("</body>\n</html>\n");

@@ -17,15 +17,15 @@
 pub mod ascii;
 pub mod color;
 pub mod gantt;
-pub mod html;
 pub mod heatmap;
+pub mod html;
 pub mod svg;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::ascii;
     pub use crate::gantt;
-    pub use crate::html::{HtmlReport, Section};
     pub use crate::heatmap;
+    pub use crate::html::{HtmlReport, Section};
     pub use crate::svg;
 }

@@ -21,7 +21,9 @@ fn svg_header(width: f64, height: f64, title: &str) -> String {
 
 /// Escape text content for XML.
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render an event graph in the paper's style: one horizontal row per
@@ -196,7 +198,11 @@ pub fn bar_chart_svg(items: &[(String, f64)], title: &str, y_label: &str) -> Str
     let label_h = 120.0;
     let width = margin * 2.0 + slot * items.len() as f64;
     let height = margin + plot_h + label_h;
-    let peak = items.iter().map(|(_, v)| *v).fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+    let peak = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
     let mut s = svg_header(width, height, title);
     let _ = writeln!(
         s,
@@ -255,8 +261,12 @@ pub fn line_chart_svg(series: &[(f64, f64)], title: &str, x_label: &str, y_label
     let plot_h = 300.0;
     let width = margin * 2.0 + plot_w;
     let height = margin * 2.0 + plot_h;
-    let (mut xlo, mut xhi, mut ylo, mut yhi) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut xlo, mut xhi, mut ylo, mut yhi) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in series {
         xlo = xlo.min(x);
         xhi = xhi.max(x);

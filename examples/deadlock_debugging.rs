@@ -17,8 +17,12 @@ use anacin_x::viz::gantt;
 
 fn broken_exchange() -> Program {
     let mut b = ProgramBuilder::new(2);
-    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 1 << 20).recv(Rank(1), Tag(0).into());
-    b.rank(Rank(1)).ssend(Rank(0), Tag(0), 1 << 20).recv(Rank(0), Tag(0).into());
+    b.rank(Rank(0))
+        .ssend(Rank(1), Tag(0), 1 << 20)
+        .recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1))
+        .ssend(Rank(0), Tag(0), 1 << 20)
+        .recv(Rank(0), Tag(0).into());
     b.build()
 }
 
@@ -32,8 +36,12 @@ fn fixed_with_sendrecv() -> Program {
 fn fixed_with_ordering() -> Program {
     // Odd/even ordering: rank 0 sends first, rank 1 receives first.
     let mut b = ProgramBuilder::new(2);
-    b.rank(Rank(0)).ssend(Rank(1), Tag(0), 1 << 20).recv(Rank(1), Tag(0).into());
-    b.rank(Rank(1)).recv(Rank(0), Tag(0).into()).ssend(Rank(0), Tag(0), 1 << 20);
+    b.rank(Rank(0))
+        .ssend(Rank(1), Tag(0), 1 << 20)
+        .recv(Rank(1), Tag(0).into());
+    b.rank(Rank(1))
+        .recv(Rank(0), Tag(0).into())
+        .ssend(Rank(0), Tag(0), 1 << 20);
     b.build()
 }
 
@@ -48,8 +56,14 @@ fn main() {
     }
 
     for (name, program) in [
-        ("MPI_Sendrecv (nonblocking pair + waitall)", fixed_with_sendrecv()),
-        ("call ordering (one rank receives first)", fixed_with_ordering()),
+        (
+            "MPI_Sendrecv (nonblocking pair + waitall)",
+            fixed_with_sendrecv(),
+        ),
+        (
+            "call ordering (one rank receives first)",
+            fixed_with_ordering(),
+        ),
     ] {
         println!("2. fix via {name}:");
         let trace =

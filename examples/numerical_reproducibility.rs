@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example numerical_reproducibility`
 
-use anacin_x::prelude::*;
 use anacin_numerics::prelude::*;
 
 fn main() {
@@ -48,7 +47,11 @@ fn main() {
     let seq = report.outcome(Reduction::Sequential);
     let mid = {
         let lo = seq.results.iter().copied().fold(f32::INFINITY, f32::min);
-        let hi = seq.results.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let hi = seq
+            .results
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
         0.5 * (lo + hi)
     };
     let decisions: Vec<bool> = seq.results.iter().map(|&s| s > mid).collect();

@@ -27,13 +27,15 @@ fn main() {
         record.total()
     );
 
-    println!("\n{:>6} {:>20} {:>20}", "seed", "free-run distance", "replayed distance");
+    println!(
+        "\n{:>6} {:>20} {:>20}",
+        "seed", "free-run distance", "replayed distance"
+    );
     let mut free_distances = Vec::new();
     for seed in 100..110 {
         let sim = SimConfig::with_nd_percent(100.0, seed);
         let free = simulate(&program, &sim).expect("free run completes");
-        let replayed =
-            simulate_replay(&program, &sim, &record).expect("replayed run completes");
+        let replayed = simulate_replay(&program, &sim, &record).expect("replayed run completes");
         let d_free = distance(&kernel, &g_ref, &EventGraph::from_trace(&free));
         let d_rep = distance(&kernel, &g_ref, &EventGraph::from_trace(&replayed));
         println!("{seed:>6} {d_free:>20.4} {d_rep:>20.4}");

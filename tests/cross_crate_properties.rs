@@ -1,5 +1,11 @@
 //! Property-based tests spanning the whole pipeline.
+//!
+//! Two input sources: the five packaged mini-app patterns, and — much
+//! broader — `anacin-testkit`'s random program generator, which feeds
+//! hundreds of arbitrary deadlock-free MPI programs through the validator
+//! and the full differential/metamorphic oracle battery.
 
+use anacin_testkit::prelude::*;
 use anacin_x::prelude::*;
 use proptest::prelude::*;
 
@@ -11,6 +17,34 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
         Just(Pattern::Collectives),
         Just(Pattern::Stencil2d),
     ]
+}
+
+/// Arbitrary generator configurations: explicit knob draws, not just
+/// seed-derived ones, so the corners (all-wildcard, all-blocking, maximum
+/// fan-out) are reachable directly.
+fn arb_gen_config() -> impl Strategy<Value = GenConfig> {
+    (
+        (2u32..=16, 1u32..=6, 1u32..=3, 0u64..1 << 48),
+        (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+    )
+        .prop_map(
+            |((world_size, rounds, max_sends, seed), (wild, nonblk, mix))| {
+                // A third of configurations are pure point-to-point, the only
+                // shape where chaotic (ANY/ANY) ranks are sound.
+                let pure_p2p = mix < 1.0 / 3.0;
+                GenConfig {
+                    world_size,
+                    rounds,
+                    max_sends,
+                    wildcard_prob: wild,
+                    nonblocking_prob: nonblk,
+                    collective_prob: if pure_p2p { 0.0 } else { 0.25 },
+                    exchange_prob: if pure_p2p { 0.0 } else { 0.2 },
+                    chaos_prob: if pure_p2p { mix } else { 0.0 },
+                    seed,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -104,5 +138,32 @@ proptest! {
                 "rank {} diverged", r
             );
         }
+    }
+}
+
+// 224 random programs per run (112 seed-derived + 112 explicit-knob), each
+// one simulated at 0/50/100% ND, structurally validated, and checked
+// against every oracle: bit reproducibility, nd=0 seed invariance, replay
+// zero-distance, kernel-distance axioms for all five kernels, and Gram
+// thread invariance.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(112))]
+
+    /// The whole battery holds for seed-derived generator configurations.
+    #[test]
+    fn generated_programs_pass_validator_and_all_oracles(seed in 0u64..1 << 48) {
+        let summary = check_seed(seed)
+            .unwrap_or_else(|e| panic!("testkit seed {seed}: {e}"));
+        prop_assert!(summary.validation.messages > 0 || summary.validation.events > 0);
+        prop_assert!(summary.kernel_pairs > 0);
+    }
+
+    /// …and for explicitly drawn knob combinations, including the corners
+    /// seed derivation rarely visits.
+    #[test]
+    fn generated_corner_configs_pass_validator_and_all_oracles(cfg in arb_gen_config()) {
+        let gp = generate(&cfg);
+        check_generated(&gp)
+            .unwrap_or_else(|e| panic!("testkit config {:?}: {e}", gp.config));
     }
 }

@@ -22,7 +22,11 @@ fn full_pipeline_race_to_root_cause() {
     //    the ranking.
     let ranking = analyze(&result, &RootCauseConfig::default());
     let top = ranking.top().expect("nonempty ranking");
-    assert!(top.stack.contains("aggregate_results"), "top: {}", top.stack);
+    assert!(
+        top.stack.contains("aggregate_results"),
+        "top: {}",
+        top.stack
+    );
     // 5. Visualisation (viz) renders everything without panicking.
     let violin = m.violin().expect("nonempty violin");
     assert!(!ascii::violins(std::slice::from_ref(&violin), 40).is_empty());
@@ -114,7 +118,9 @@ fn seed_is_the_only_source_of_run_variation() {
     let a = run_campaign(&cfg).unwrap().distance_sample();
     let b = run_campaign(&cfg).unwrap().distance_sample();
     assert_eq!(a, b);
-    let c = run_campaign(&cfg.clone().base_seed(999)).unwrap().distance_sample();
+    let c = run_campaign(&cfg.clone().base_seed(999))
+        .unwrap()
+        .distance_sample();
     assert_ne!(a, c);
 }
 

@@ -70,12 +70,18 @@ fn fig8_root_sources_are_wildcard_receives() {
 fn fig7_shape_is_robust_to_the_delay_distribution() {
     // DESIGN.md ablation #4: the monotone ND%→distance trend must not
     // depend on the congestion-delay distribution.
-    use anacin_x::prelude::*;
     use anacin_x::mpisim::network::DelayDistribution;
+    use anacin_x::prelude::*;
     for delay in [
         DelayDistribution::Exponential { mean_ns: 100.0 },
-        DelayDistribution::Uniform { lo_ns: 0.0, hi_ns: 200.0 },
-        DelayDistribution::Pareto { xm_ns: 40.0, alpha: 2.0 },
+        DelayDistribution::Uniform {
+            lo_ns: 0.0,
+            hi_ns: 200.0,
+        },
+        DelayDistribution::Pareto {
+            xm_ns: 40.0,
+            alpha: 2.0,
+        },
     ] {
         let base = CampaignConfig::new(Pattern::MessageRace, 8)
             .runs(8)

@@ -1,0 +1,539 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the slice of proptest this workspace uses: range/`Just`/
+//! tuple/`prop_oneof!`/`prop::collection::vec` strategies with
+//! `prop_filter`/`prop_map`, the [`proptest!`] macro, `prop_assert*!`, and a
+//! deterministic runner. Unlike upstream, input generation is seeded purely
+//! from the test name and case index, so a failure reproduces exactly on
+//! re-run with no environment dependence.
+//!
+//! Failure persistence is kept: failing case seeds are appended as
+//! `cc <seed-hex>` lines to `proptest-regressions/<file-stem>.txt` next to
+//! the owning crate's `Cargo.toml`, and persisted seeds are replayed before
+//! fresh cases on every run — commit those files to pin regressions.
+//!
+//! `PROPTEST_CASES` overrides the per-test case count.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of one type.
+    ///
+    /// Upstream proptest separates value *trees* (for shrinking) from
+    /// strategies; this stand-in drops shrinking and a strategy is just a
+    /// seeded generator.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Keep only values satisfying `pred`; `reason` is reported if the
+        /// filter rejects too many consecutive draws.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut SmallRng) -> V>);
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+    );
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "proptest stand-in: filter rejected 10000 consecutive values ({})",
+                self.reason
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V: Debug> Union<V> {
+        /// Build from at least one alternative.
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+            Union(alternatives)
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length band for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Fresh cases to run per test (after replaying persisted seeds).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` fresh cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod runner {
+    use super::ProptestConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"))
+    }
+
+    fn load_seeds(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                u64::from_str_radix(rest.trim().trim_start_matches("0x"), 16).ok()
+            })
+            .collect()
+    }
+
+    fn persist_seed(path: &Path, seed: u64) {
+        if load_seeds(path).contains(&seed) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| {
+            "# Seeds for failing proptest cases, replayed before fresh cases on \
+             every run.\n# Managed by the proptest stand-in; commit this file. \
+             Lines: `cc <seed-hex>`.\n"
+                .to_string()
+        });
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&format!("cc {seed:016x}\n"));
+        let _ = std::fs::write(path, text);
+    }
+
+    fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// Drive one property test: replay persisted regression seeds, then run
+    /// fresh cases with seeds derived from the test name and case index.
+    ///
+    /// `case` maps an RNG to `(input description, runnable body)` so the
+    /// inputs can be reported when the body fails.
+    pub fn run<C, G>(
+        cfg: &ProptestConfig,
+        manifest_dir: &str,
+        source_file: &str,
+        test_name: &str,
+        mut case: G,
+    ) where
+        C: FnOnce(),
+        G: FnMut(&mut SmallRng) -> (String, C),
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(cfg.cases);
+        let reg_path = regression_path(manifest_dir, source_file);
+        let base = fnv1a(test_name.as_bytes());
+        let persisted = load_seeds(&reg_path)
+            .into_iter()
+            .map(|s| (true, s))
+            .collect::<Vec<_>>();
+        let fresh = (0..cases as u64).map(|i| {
+            (
+                false,
+                base ^ i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        });
+        for (replayed, seed) in persisted.into_iter().chain(fresh) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (desc, body) = case(&mut rng);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                if !replayed {
+                    persist_seed(&reg_path, seed);
+                }
+                let origin = if replayed {
+                    "persisted regression seed"
+                } else {
+                    "seed now persisted"
+                };
+                panic!(
+                    "proptest: {test_name} failed (seed {seed:016x}, {origin}, file {})\n  \
+                     inputs: {desc}\n  cause: {}",
+                    reg_path.display(),
+                    payload_to_string(payload),
+                );
+            }
+        }
+    }
+}
+
+/// Assert inside a proptest body; the runner reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::runner::run(
+                &__cfg,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__rng| {
+                    let __vals = ($($crate::strategy::Strategy::generate(&$strat, __rng),)+);
+                    let __desc = format!(
+                        concat!("(", $(stringify!($arg), ", ",)+ ") = {:?}"),
+                        &__vals,
+                    );
+                    let ($($arg,)+) = __vals;
+                    (__desc, move || $body)
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of upstream's `prop::` module tree.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = prop::collection::vec((0u32..6, 0u32..6).prop_filter("ne", |(a, b)| a != b), 0..30);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 30);
+            assert!(v.iter().all(|&(a, b)| a < 6 && b < 6 && a != b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_alternatives() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: generated args are in range and deterministic.
+        #[test]
+        fn macro_generates_in_range(x in 5u64..50, y in 0.0f64..=1.0, v in prop::collection::vec(0i32..4, 1..8)) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert_eq!(v.iter().filter(|&&e| e >= 4).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! local `serde` stand-in's JSON [`Value`] data model, without pulling in
+//! `syn`/`quote`: the item is parsed directly from its `TokenStream` (only
+//! field and variant *names* are needed — concrete types are recovered by
+//! inference at the use site) and the impl is emitted as a source string.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * named-field structs (including `#[serde(skip)]` fields, which are
+//!   omitted on serialize and `Default`-filled on deserialize);
+//! * tuple / newtype structs;
+//! * unit structs;
+//! * enums with unit variants, tuple variants and struct variants, encoded
+//!   with serde's default externally-tagged convention
+//!   (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generics are intentionally unsupported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stand-in: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stand-in: generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------------ model
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    UnitStruct {
+        name: String,
+    },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ----------------------------------------------------------------- parser
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stand-in: expected `struct` or `enum`, got {t:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stand-in: expected item name, got {t:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde_derive stand-in: generic or lifetime parameters are not supported (`{name}`)"
+        );
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: split_top_level(g.stream().into_iter().collect())
+                    .iter()
+                    .map(|c| parse_named_field(c))
+                    .collect(),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(g.stream().into_iter().collect()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            t => panic!("serde_derive stand-in: unexpected struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: split_top_level(g.stream().into_iter().collect())
+                    .iter()
+                    .map(|c| parse_variant(c))
+                    .collect(),
+            },
+            t => panic!("serde_derive stand-in: expected enum body for `{name}`, got {t:?}"),
+        },
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip `#[...]` attributes (doc comments included) starting at `*i`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // `#` + bracketed group
+    }
+}
+
+/// Skip `pub` / `pub(...)` starting at `*i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas. Commas inside delimited
+/// groups are invisible (groups are single tokens); commas inside generic
+/// argument lists are masked by tracking `<`/`>` punct depth.
+fn split_top_level(toks: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consume field attributes at `*i`, reporting whether `#[serde(skip)]` was
+/// among them. Any other `#[serde(...)]` content is rejected loudly rather
+/// than silently ignored.
+fn take_field_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                let args = match inner.get(1) {
+                    Some(TokenTree::Group(a)) => a.stream().to_string(),
+                    _ => String::new(),
+                };
+                if args.trim() == "skip" {
+                    skip = true;
+                } else {
+                    panic!("serde_derive stand-in: unsupported attribute #[serde({args})]");
+                }
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+fn parse_named_field(chunk: &[TokenTree]) -> Field {
+    let mut i = 0;
+    let skip = take_field_attrs(chunk, &mut i);
+    skip_vis(chunk, &mut i);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stand-in: expected field name, got {t:?}"),
+    };
+    Field { name, skip }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    take_field_attrs(chunk, &mut i);
+    skip_vis(chunk, &mut i);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stand-in: expected variant name, got {t:?}"),
+    };
+    i += 1;
+    let kind = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level(g.stream().into_iter().collect()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantKind::Named(
+            split_top_level(g.stream().into_iter().collect())
+                .iter()
+                .map(|c| parse_named_field(c))
+                .collect(),
+        ),
+        _ => VariantKind::Unit,
+    };
+    Variant { name, kind }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}"
+        ),
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "m.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     let mut m: ::serde::Map = ::std::vec::Vec::new(); \
+                     {pushes} \
+                     ::serde::Value::Object(m) }} }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn to_value(&self) -> ::serde::Value {{ \
+                 ::serde::Serialize::to_value(&self.0) }} }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Array(::std::vec![{elems}]) }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(v0) => ::serde::Value::Object(::std::vec![\
+                           (\"{vn}\".to_string(), ::serde::Serialize::to_value(v0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("v{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let elems = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(v{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                               (\"{vn}\".to_string(), \
+                                ::serde::Value::Array(::std::vec![{elems}]))]),"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "fm.push((\"{0}\".to_string(), \
+                                   ::serde::Serialize::to_value({0})));",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ \
+                               let mut fm: ::serde::Map = ::std::vec::Vec::new(); \
+                               {pushes} \
+                               ::serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Object(fm))]) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Item::NamedStruct { name, fields } => {
+            let inits = named_field_inits(name, fields, "m");
+            format!(
+                "let m = match v.as_object() {{ \
+                   ::std::option::Option::Some(m) => m, \
+                   _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                          \"expected object for {name}\")) }}; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let a = match v.as_array() {{ \
+                   ::std::option::Option::Some(a) if a.len() == {arity} => a, \
+                   _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                          \"expected {arity}-element array for {name}\")) }}; \
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner.as_array() {{ \
+                               ::std::option::Option::Some(a) if a.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({elems})), \
+                               _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                      \"expected {n}-element array for {name}::{vn}\")) }},"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits = named_field_inits(&format!("{name}::{vn}"), fields, "fm");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner.as_object() {{ \
+                               ::std::option::Option::Some(fm) => \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}), \
+                               _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                      \"expected object for {name}::{vn}\")) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{ \
+                   return match s {{ {unit_arms} \
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(\"unknown unit variant {{other}} for {name}\"))) }}; }} \
+                 let m = match v.as_object() {{ \
+                   ::std::option::Option::Some(m) if m.len() == 1 => m, \
+                   _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                          \"expected variant object for {name}\")) }}; \
+                 let inner = &m[0].1; \
+                 let _ = inner; \
+                 match m[0].0.as_str() {{ {tagged_arms} \
+                   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant {{other}} for {name}\"))) }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::UnitStruct { name }
+        | Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             {body} }} }}"
+    )
+}
+
+/// Field initializers for a braced constructor: skip fields come from
+/// `Default`, the rest from `map_get` lookups on `map_var`.
+fn named_field_inits(ctor: &str, fields: &[Field], map_var: &str) -> String {
+    let _ = ctor;
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{0}: ::serde::Deserialize::from_value(::serde::map_get({map_var}, \"{0}\"))?",
+                    f.name
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
