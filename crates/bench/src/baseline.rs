@@ -1,0 +1,176 @@
+//! Pipeline baseline: mean-of-N per-stage wall-times for the paper's three
+//! patterns, derived from the observability layer's span timers rather than
+//! a separate harness. `anacin bench baseline` writes the report as
+//! `BENCH_baseline.json`; CI uploads it so perf regressions across the
+//! simulate/graph/features/gram stages are visible per commit.
+
+use anacin_core::prelude::*;
+use anacin_miniapps::Pattern;
+use anacin_obs::MetricsRegistry;
+use serde::Serialize;
+
+/// What to measure: campaign shape and repetition count.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Simulated process count (the paper's evaluation uses 32).
+    pub procs: u32,
+    /// Runs per campaign (one campaign = one sample).
+    pub runs: u32,
+    /// Campaigns per pattern; reported times are the mean over these.
+    pub samples: u32,
+    /// Seed of the first run in every campaign.
+    pub base_seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            procs: 32,
+            runs: 10,
+            samples: 3,
+            base_seed: 1,
+        }
+    }
+}
+
+/// Mean per-stage wall-times for one pattern, in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageTimings {
+    /// The mini-app pattern measured.
+    pub pattern: String,
+    /// Campaigns averaged over.
+    pub samples: u32,
+    /// Mean wall-time of the parallel simulation stage.
+    pub simulate_ms: f64,
+    /// Mean wall-time of event-graph construction.
+    pub graph_ms: f64,
+    /// Mean wall-time of feature extraction.
+    pub features_ms: f64,
+    /// Mean wall-time of the Gram-matrix dot products.
+    pub gram_ms: f64,
+    /// Mean end-to-end campaign wall-time.
+    pub total_ms: f64,
+    /// Simulator events executed across all samples.
+    pub events: u64,
+    /// Kernel dot products computed across all samples.
+    pub dot_products: u64,
+}
+
+/// The full baseline: one row per paper pattern.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineReport {
+    /// Simulated process count.
+    pub procs: u32,
+    /// Runs per campaign.
+    pub runs: u32,
+    /// Campaigns per pattern.
+    pub samples: u32,
+    /// Per-pattern stage timings.
+    pub patterns: Vec<StageTimings>,
+}
+
+impl BaselineReport {
+    /// Human-readable stage table.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "baseline: procs={} runs={} samples={}\n{:<16} {:>12} {:>10} {:>12} {:>10} {:>10}\n",
+            self.procs,
+            self.runs,
+            self.samples,
+            "pattern",
+            "simulate_ms",
+            "graph_ms",
+            "features_ms",
+            "gram_ms",
+            "total_ms"
+        );
+        for r in &self.patterns {
+            out.push_str(&format!(
+                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>10.3}\n",
+                r.pattern, r.simulate_ms, r.graph_ms, r.features_ms, r.gram_ms, r.total_ms
+            ));
+        }
+        out
+    }
+}
+
+/// Run `samples` campaigns per paper pattern and report the mean per-stage
+/// wall-times from the metrics registry's span timers.
+pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
+    let patterns = [
+        Pattern::MessageRace,
+        Pattern::Amg2013,
+        Pattern::UnstructuredMesh,
+    ];
+    let mut rows = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        let reg = MetricsRegistry::new();
+        let ccfg = CampaignConfig::new(p, cfg.procs)
+            .runs(cfg.runs)
+            .base_seed(cfg.base_seed);
+        for _ in 0..cfg.samples {
+            run_campaign_with_metrics(&ccfg, Some(&reg)).expect("baseline campaign");
+        }
+        let report = reg.report();
+        // Each campaign records one span per stage, so mean = total / count.
+        let mean_ms = |path: &str| {
+            report
+                .span(path)
+                .map(|s| s.total_ns as f64 / s.count as f64 / 1e6)
+                .unwrap_or(0.0)
+        };
+        rows.push(StageTimings {
+            pattern: p.to_string(),
+            samples: cfg.samples,
+            simulate_ms: mean_ms("campaign/simulate"),
+            graph_ms: mean_ms("campaign/graph"),
+            features_ms: mean_ms("campaign/kernel/features"),
+            gram_ms: mean_ms("campaign/kernel/gram"),
+            total_ms: mean_ms("campaign"),
+            events: report.counter("sim/events").unwrap_or(0),
+            dot_products: report.counter("kernel/dot_products").unwrap_or(0),
+        });
+    }
+    BaselineReport {
+        procs: cfg.procs,
+        runs: cfg.runs,
+        samples: cfg.samples,
+        patterns: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_baseline_covers_three_patterns() {
+        let cfg = BaselineConfig {
+            procs: 4,
+            runs: 2,
+            samples: 1,
+            base_seed: 1,
+        };
+        let r = run_baseline(&cfg);
+        assert_eq!(r.patterns.len(), 3);
+        for row in &r.patterns {
+            assert!(
+                row.total_ms > 0.0,
+                "{}: total {}",
+                row.pattern,
+                row.total_ms
+            );
+            assert!(row.simulate_ms >= 0.0);
+            assert!(row.events > 0);
+            assert_eq!(row.dot_products, 2 * 3 / 2);
+        }
+        let table = r.render_table();
+        assert!(
+            table.contains("message-race") || table.contains("race"),
+            "{table}"
+        );
+        // Serialises cleanly for BENCH_baseline.json.
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"patterns\""));
+    }
+}

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod figures;
 
+pub use baseline::{run_baseline, BaselineConfig, BaselineReport, StageTimings};
 pub use figures::{by_id, FigureOutput, Scale, ALL_IDS};

@@ -8,6 +8,7 @@ use anacin_event_graph::{export, EventGraph};
 use anacin_kernels::prelude::*;
 use anacin_miniapps::{MiniAppConfig, Pattern};
 use anacin_mpisim::prelude::*;
+use anacin_obs::MetricsRegistry;
 use anacin_viz::{ascii, svg};
 use std::io::Write as _;
 
@@ -17,9 +18,11 @@ anacin — analysis of non-determinism in message-passing applications
 USAGE: anacin <command> [options]
 
 COMMANDS
-  run         run a measurement campaign
+  run         run a measurement campaign ('campaign' is an alias)
               --pattern race|amg2013|mesh|collectives  --procs N  --nd P
               --runs N  --iterations N  --nodes N  --seed S  [--json]
+              [--metrics FILE]  write a pipeline metrics report (JSON) and
+                                print a per-stage summary table to stderr
   graph       render one run's event graph
               --pattern … --procs N --nd P --seed S
               --format ascii|dot|graphml|json|svg  [--out FILE]
@@ -27,6 +30,10 @@ COMMANDS
               --pattern … --procs N --nd P --seed-a A --seed-b B
   sweep       parameter sweep
               --kind nd|procs|iterations  --pattern … --procs N --runs N
+              [--metrics FILE]
+  bench       performance baselines
+              anacin bench baseline [--procs N] [--runs N] [--samples N]
+              [--out FILE]  (default BENCH_baseline.json)
   root-cause  callstack ranking for a campaign
               --pattern … --procs N --runs N  [--slices K] [--top FRAC]
   replay      record/replay demonstration (ReMPI-style)
@@ -72,7 +79,8 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
             println!("{HELP}");
             Ok(())
         }
-        Some("run") => cmd_run(args),
+        Some("run") | Some("campaign") => cmd_run(args),
+        Some("bench") => cmd_bench(args),
         Some("graph") => cmd_graph(args),
         Some("distance") => cmd_distance(args),
         Some("sweep") => cmd_sweep(args),
@@ -116,9 +124,31 @@ fn campaign_of(args: &Args) -> Result<CampaignConfig, String> {
     Ok(cfg)
 }
 
+/// When `--metrics FILE` was given: a fresh registry plus its target path.
+fn metrics_of(args: &Args) -> Option<(String, MetricsRegistry)> {
+    args.get("metrics")
+        .map(|p| (p.to_string(), MetricsRegistry::new()))
+}
+
+/// Write the registry's report as pretty JSON and print the per-stage
+/// summary table to stderr (stderr so `--json` stdout stays parseable).
+fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
+    let report = reg.report();
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    eprint!("{}", report.render_table());
+    eprintln!("metrics report written to {path}");
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = campaign_of(args)?;
-    let result = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let metrics = metrics_of(args);
+    let result = run_campaign_with_metrics(&cfg, metrics.as_ref().map(|(_, m)| m))
+        .map_err(|e| e.to_string())?;
+    if let Some((path, reg)) = &metrics {
+        write_metrics(path, reg)?;
+    }
     let m = NdMeasurement::from_campaign(format!("{} @ {}%", cfg.pattern, cfg.nd_percent), &result);
     if args.flag("json") {
         let rep = MeasurementReport::from(&m);
@@ -208,22 +238,48 @@ fn cmd_distance(args: &Args) -> Result<(), String> {
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let base = campaign_of(args)?;
+    let metrics = metrics_of(args);
+    let reg = metrics.as_ref().map(|(_, m)| m);
     let sweep = match args.get_or("kind", "nd").as_str() {
         "nd" => {
             let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
-            sweep_nd_percent(&base, &percents)
+            sweep_nd_percent_with_metrics(&base, &percents, reg)
         }
         "procs" => {
             let p = base.app.procs;
-            sweep_procs(&base, &[(p / 2).max(2), p, p * 2])
+            sweep_procs_with_metrics(&base, &[(p / 2).max(2), p, p * 2], reg)
         }
-        "iterations" => sweep_iterations(&base, &[1, 2, 4]),
+        "iterations" => sweep_iterations_with_metrics(&base, &[1, 2, 4], reg),
         other => return Err(format!("unknown sweep kind '{other}'")),
     }
     .map_err(|e| e.to_string())?;
+    if let Some((path, reg)) = &metrics {
+        write_metrics(path, reg)?;
+    }
     print!("{}", sweep_table(&sweep));
     println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
     Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("baseline") => {
+            let cfg = anacin_bench::BaselineConfig {
+                procs: args.get_parsed("procs", 32u32)?,
+                runs: args.get_parsed("runs", 10u32)?,
+                samples: args.get_parsed("samples", 3u32)?,
+                base_seed: args.get_parsed("seed", 1u64)?,
+            };
+            let report = anacin_bench::run_baseline(&cfg);
+            print!("{}", report.render_table());
+            let path = args.get_or("out", "BENCH_baseline.json");
+            let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            std::fs::write(&path, json).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        _ => Err("bench requires an action: 'baseline'".to_string()),
+    }
 }
 
 fn cmd_root_cause(args: &Args) -> Result<(), String> {

@@ -34,6 +34,76 @@ fn run_command_small_campaign() {
 }
 
 #[test]
+fn campaign_alias_with_metrics_report() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    run(&[
+        "campaign",
+        "--pattern",
+        "race",
+        "--procs",
+        "6",
+        "--runs",
+        "5",
+        "--metrics",
+        path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    // Every pipeline stage appears with a recorded wall-time.
+    for stage in [
+        "campaign/simulate",
+        "campaign/graph",
+        "campaign/kernel/features",
+        "campaign/kernel/gram",
+    ] {
+        assert!(json.contains(stage), "missing {stage} in {json}");
+    }
+    for counter in [
+        "sim/events",
+        "sim/matched",
+        "sim/wildcard_matches",
+        "kernel/dot_products",
+    ] {
+        assert!(json.contains(counter), "missing {counter} in {json}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bench_baseline_writes_report() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("baseline.json");
+    run(&[
+        "bench",
+        "baseline",
+        "--procs",
+        "4",
+        "--runs",
+        "2",
+        "--samples",
+        "1",
+        "--out",
+        path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    for field in [
+        "simulate_ms",
+        "graph_ms",
+        "features_ms",
+        "gram_ms",
+        "patterns",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    std::fs::remove_file(path).ok();
+    assert!(run(&["bench"]).unwrap_err().contains("action"));
+}
+
+#[test]
 fn run_rejects_bad_pattern_and_values() {
     assert!(run(&["run", "--pattern", "nope"])
         .unwrap_err()

@@ -7,12 +7,43 @@
 
 use crate::config::CampaignConfig;
 use anacin_event_graph::EventGraph;
-use anacin_kernels::matrix::{gram_matrix, KernelMatrix};
-use anacin_mpisim::engine::{simulate, SimError};
+use anacin_kernels::matrix::{gram_matrix_with_metrics, KernelMatrix};
+use anacin_mpisim::engine::{simulate_with_metrics, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::stack::CallStackTable;
 use anacin_mpisim::trace::Trace;
+use anacin_obs::MetricsRegistry;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A campaign run failed. Identifies *which* seeded run died so the failure
+/// can be replayed directly (`seed` is the exact simulator seed), rather
+/// than reporting only the underlying simulator error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignError {
+    /// Index of the failing run (0-based; the lowest index on multi-failure).
+    pub run: u32,
+    /// The simulator seed that run used (`base_seed + run`).
+    pub seed: u64,
+    /// The underlying simulator failure.
+    pub source: SimError,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run {} (seed {}) failed: {}",
+            self.run, self.seed, self.source
+        )
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// The artifacts of one campaign.
 pub struct CampaignResult {
@@ -48,7 +79,17 @@ impl CampaignResult {
 }
 
 /// Simulate the campaign's runs in parallel.
-pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trace>, SimError> {
+pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trace>, CampaignError> {
+    run_traces_with_metrics(program, config, None)
+}
+
+/// [`run_traces`], additionally flushing per-run simulator counters into
+/// `metrics` when a registry is supplied. Traces are identical either way.
+pub fn run_traces_with_metrics(
+    program: &Program,
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Vec<Trace>, CampaignError> {
     let runs = config.runs as usize;
     let threads = config.threads.max(1).min(runs.max(1));
     let next = AtomicUsize::new(0);
@@ -64,7 +105,7 @@ pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trac
                             break;
                         }
                         let sc = config.sim_config(i as u32);
-                        local.push((i, simulate(program, &sc)));
+                        local.push((i, simulate_with_metrics(program, &sc, metrics)));
                     }
                     local
                 })
@@ -76,10 +117,28 @@ pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trac
             .collect()
     });
     let mut out: Vec<Option<Trace>> = (0..runs).map(|_| None).collect();
+    // Keep the *lowest* failing run index so the reported failure is
+    // deterministic no matter how runs were interleaved across workers.
+    let mut failure: Option<CampaignError> = None;
     for chunk in results {
         for (i, r) in chunk {
-            out[i] = Some(r?);
+            match r {
+                Ok(t) => out[i] = Some(t),
+                Err(source) => {
+                    let run = i as u32;
+                    if failure.as_ref().is_none_or(|f| run < f.run) {
+                        failure = Some(CampaignError {
+                            run,
+                            seed: config.sim_config(run).seed,
+                            source,
+                        });
+                    }
+                }
+            }
         }
+    }
+    if let Some(f) = failure {
+        return Err(f);
     }
     Ok(out
         .into_iter()
@@ -88,12 +147,42 @@ pub fn run_traces(program: &Program, config: &CampaignConfig) -> Result<Vec<Trac
 }
 
 /// Run a full campaign: simulate, graph, and measure.
-pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, SimError> {
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with_metrics(config, None)
+}
+
+/// [`run_campaign`], additionally recording a per-stage breakdown
+/// (`campaign/simulate`, `campaign/graph`, `campaign/kernel/*` spans plus
+/// simulator/graph/kernel counters) when a registry is supplied. The
+/// measurement itself is bit-identical either way: observability never
+/// touches simulated time or the injection RNG.
+pub fn run_campaign_with_metrics(
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<CampaignResult, CampaignError> {
+    let _campaign_span = metrics.map(|m| m.span("campaign"));
     let program = config.pattern.build(&config.app);
-    let traces = run_traces(&program, config)?;
-    let graphs: Vec<EventGraph> = traces.iter().map(EventGraph::from_trace).collect();
+    let traces = {
+        let _s = metrics.map(|m| m.span("simulate"));
+        run_traces_with_metrics(&program, config, metrics)?
+    };
+    let graphs: Vec<EventGraph> = {
+        let _s = metrics.map(|m| m.span("graph"));
+        traces
+            .iter()
+            .map(|t| EventGraph::from_trace_with_metrics(t, metrics))
+            .collect()
+    };
     let kernel = config.kernel.instantiate();
-    let matrix = gram_matrix(kernel.as_ref(), &graphs, config.threads);
+    let matrix = {
+        let _s = metrics.map(|m| m.span("kernel"));
+        gram_matrix_with_metrics(kernel.as_ref(), &graphs, config.threads, metrics)
+    };
+    if let Some(m) = metrics {
+        m.counter("campaign/runs").add(config.runs as u64);
+        let nan = anacin_stats::nan_count(&matrix.pairwise_distances());
+        m.counter("stats/nan_distances").add(nan as u64);
+    }
     Ok(CampaignResult {
         config: config.clone(),
         program,
@@ -160,6 +249,66 @@ mod tests {
         // Not a hard invariant, but with continuous delays a collision is
         // effectively impossible.
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failing_campaign_reports_run_and_seed() {
+        // Every run of a self-deadlocking program fails; the error must
+        // identify the lowest run index and its exact simulator seed so the
+        // failure can be replayed directly.
+        use anacin_mpisim::prelude::*;
+        let mut b = ProgramBuilder::new(2);
+        b.rank(Rank(0)).recv(Rank(1), TagSpec::Tag(Tag(0)));
+        b.rank(Rank(1)).recv(Rank(0), TagSpec::Tag(Tag(0)));
+        let program = b.build();
+        let cfg = CampaignConfig::new(anacin_miniapps::Pattern::MessageRace, 2)
+            .runs(4)
+            .base_seed(77);
+        let err = run_traces(&program, &cfg).unwrap_err();
+        assert_eq!(err.run, 0);
+        assert_eq!(err.seed, 77);
+        assert!(matches!(err.source, SimError::Deadlock(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("run 0"), "{msg}");
+        assert!(msg.contains("seed 77"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn campaign_metrics_report_covers_every_stage() {
+        let reg = MetricsRegistry::new();
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6).runs(5);
+        let r = run_campaign_with_metrics(&cfg, Some(&reg)).unwrap();
+        let report = reg.report();
+        // Per-stage wall-times present (non-negative by construction: the
+        // report stores unsigned nanoseconds) for every pipeline stage.
+        for stage in [
+            "campaign",
+            "campaign/simulate",
+            "campaign/graph",
+            "campaign/kernel",
+            "campaign/kernel/features",
+            "campaign/kernel/gram",
+        ] {
+            let s = report
+                .span(stage)
+                .unwrap_or_else(|| panic!("missing span {stage}"));
+            assert!(s.count >= 1, "{stage}");
+            assert!(s.total_ns >= s.max_ns, "{stage}");
+        }
+        // Counters agree with the artifacts.
+        assert_eq!(report.counter("campaign/runs"), Some(5));
+        assert_eq!(report.counter("sim/runs"), Some(5));
+        let events: usize = r.traces.iter().map(|t| t.total_events()).sum();
+        assert_eq!(report.counter("sim/events"), Some(events as u64));
+        let nodes: usize = r.graphs.iter().map(|g| g.node_count()).sum();
+        assert_eq!(report.counter("graph/nodes"), Some(nodes as u64));
+        assert_eq!(report.counter("kernel/features"), Some(5));
+        assert_eq!(report.counter("kernel/dot_products"), Some(5 * 6 / 2));
+        assert_eq!(report.counter("stats/nan_distances"), Some(0));
+        // The metrics run is bit-identical to an unobserved one.
+        let plain = run_campaign(&cfg).unwrap();
+        assert_eq!(r.distance_sample(), plain.distance_sample());
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! * [`sweep_procs`] — Figure 5 (process-count scaling);
 //! * [`sweep_iterations`] — Figure 6 (iteration scaling).
 
-use crate::campaign::run_campaign;
+use crate::campaign::{run_campaign_with_metrics, CampaignError};
 use crate::config::CampaignConfig;
 use crate::measure::NdMeasurement;
-use anacin_mpisim::engine::SimError;
+use anacin_obs::MetricsRegistry;
 use anacin_stats::prelude::spearman;
 
 /// One sweep point: the swept value and its measurement.
@@ -68,11 +68,21 @@ impl Sweep {
 
 /// Sweep the ND percentage (Figure 7: 0..=100 in steps of 10 in the
 /// paper).
-pub fn sweep_nd_percent(base: &CampaignConfig, percents: &[f64]) -> Result<Sweep, SimError> {
+pub fn sweep_nd_percent(base: &CampaignConfig, percents: &[f64]) -> Result<Sweep, CampaignError> {
+    sweep_nd_percent_with_metrics(base, percents, None)
+}
+
+/// [`sweep_nd_percent`], threading an optional metrics registry through
+/// every campaign it runs.
+pub fn sweep_nd_percent_with_metrics(
+    base: &CampaignConfig,
+    percents: &[f64],
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Sweep, CampaignError> {
     let mut points = Vec::with_capacity(percents.len());
     for &p in percents {
         let cfg = base.clone().nd_percent(p);
-        let r = run_campaign(&cfg)?;
+        let r = run_campaign_with_metrics(&cfg, metrics)?;
         points.push(SweepPoint {
             x: p,
             measurement: NdMeasurement::from_campaign(format!("nd={p}%"), &r),
@@ -85,12 +95,22 @@ pub fn sweep_nd_percent(base: &CampaignConfig, percents: &[f64]) -> Result<Sweep
 }
 
 /// Sweep the process count (Figure 5 compares 16 vs 32).
-pub fn sweep_procs(base: &CampaignConfig, procs: &[u32]) -> Result<Sweep, SimError> {
+pub fn sweep_procs(base: &CampaignConfig, procs: &[u32]) -> Result<Sweep, CampaignError> {
+    sweep_procs_with_metrics(base, procs, None)
+}
+
+/// [`sweep_procs`], threading an optional metrics registry through every
+/// campaign it runs.
+pub fn sweep_procs_with_metrics(
+    base: &CampaignConfig,
+    procs: &[u32],
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Sweep, CampaignError> {
     let mut points = Vec::with_capacity(procs.len());
     for &n in procs {
         let mut cfg = base.clone();
         cfg.app.procs = n;
-        let r = run_campaign(&cfg)?;
+        let r = run_campaign_with_metrics(&cfg, metrics)?;
         points.push(SweepPoint {
             x: n as f64,
             measurement: NdMeasurement::from_campaign(format!("{n} procs"), &r),
@@ -103,11 +123,21 @@ pub fn sweep_procs(base: &CampaignConfig, procs: &[u32]) -> Result<Sweep, SimErr
 }
 
 /// Sweep the iteration count (Figure 6 compares 1 vs 2).
-pub fn sweep_iterations(base: &CampaignConfig, iterations: &[u32]) -> Result<Sweep, SimError> {
+pub fn sweep_iterations(base: &CampaignConfig, iterations: &[u32]) -> Result<Sweep, CampaignError> {
+    sweep_iterations_with_metrics(base, iterations, None)
+}
+
+/// [`sweep_iterations`], threading an optional metrics registry through
+/// every campaign it runs.
+pub fn sweep_iterations_with_metrics(
+    base: &CampaignConfig,
+    iterations: &[u32],
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Sweep, CampaignError> {
     let mut points = Vec::with_capacity(iterations.len());
     for &it in iterations {
         let cfg = base.clone().iterations(it);
-        let r = run_campaign(&cfg)?;
+        let r = run_campaign_with_metrics(&cfg, metrics)?;
         points.push(SweepPoint {
             x: it as f64,
             measurement: NdMeasurement::from_campaign(

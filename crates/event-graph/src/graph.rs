@@ -112,6 +112,16 @@ impl EventGraph {
     /// which is precisely the communication non-determinism the kernel
     /// distance measures.
     pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_trace_with_metrics(trace, None)
+    }
+
+    /// [`EventGraph::from_trace`], additionally flushing node/edge counts
+    /// into `metrics` (`graph/nodes`, `graph/edges`, `graph/message_edges`)
+    /// when a registry is supplied. Construction is unaffected.
+    pub fn from_trace_with_metrics(
+        trace: &Trace,
+        metrics: Option<&anacin_obs::MetricsRegistry>,
+    ) -> Self {
         let world = trace.world_size();
         let mut nodes = Vec::with_capacity(trace.total_events());
         let mut rank_base = Vec::with_capacity(world as usize);
@@ -157,13 +167,20 @@ impl EventGraph {
                 in_edges[d.index()].push((s, EdgeKind::Message));
             }
         }
-        EventGraph {
+        let graph = EventGraph {
             world_size: world,
             nodes,
             rank_base,
             out_edges,
             in_edges,
+        };
+        if let Some(m) = metrics {
+            m.counter("graph/nodes").add(graph.node_count() as u64);
+            m.counter("graph/edges").add(graph.edge_count() as u64);
+            m.counter("graph/message_edges")
+                .add(graph.message_edge_count() as u64);
         }
+        graph
     }
 
     /// Number of ranks in the traced job.

@@ -56,7 +56,10 @@ pub mod prelude {
     pub use crate::graphlet::GraphletKernel;
     pub use crate::histogram::{EdgeHistogramKernel, VertexHistogramKernel};
     pub use crate::kernel::GraphKernel;
-    pub use crate::matrix::{gram_matrix, parallel_features, KernelMatrix};
+    pub use crate::matrix::{
+        gram_matrix, gram_matrix_with_metrics, parallel_features, parallel_features_with_metrics,
+        KernelMatrix,
+    };
     pub use crate::shortest_path::ShortestPathKernel;
     pub use crate::wl::WlKernel;
 }

@@ -11,6 +11,7 @@ use crate::distance::kernel_distance;
 use crate::feature::SparseFeatures;
 use crate::kernel::GraphKernel;
 use anacin_event_graph::EventGraph;
+use anacin_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A symmetric kernel (Gram) matrix over a sample of graphs.
@@ -96,7 +97,24 @@ pub fn parallel_features(
     graphs: &[EventGraph],
     threads: usize,
 ) -> Vec<SparseFeatures> {
+    parallel_features_with_metrics(kernel, graphs, threads, None)
+}
+
+/// [`parallel_features`], additionally recording a `features` span, the
+/// `kernel/features` counter, and the `kernel/threads` gauge when a
+/// registry is supplied. Results are identical either way.
+pub fn parallel_features_with_metrics(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<SparseFeatures> {
     let threads = threads.max(1).min(graphs.len().max(1));
+    let _span = metrics.map(|m| m.span("features"));
+    if let Some(m) = metrics {
+        m.counter("kernel/features").add(graphs.len() as u64);
+        m.set_gauge("kernel/threads", threads as f64);
+    }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<SparseFeatures>> = vec![None; graphs.len()];
     // Hand each worker a disjoint set of slots via unsafe-free interior
@@ -141,26 +159,56 @@ pub fn gram_matrix(
     graphs: &[EventGraph],
     threads: usize,
 ) -> KernelMatrix {
+    gram_matrix_with_metrics(kernel, graphs, threads, None)
+}
+
+/// [`gram_matrix`], additionally recording `features`/`gram` spans and the
+/// `kernel/dot_products` counter when a registry is supplied. The matrix is
+/// bit-identical either way.
+pub fn gram_matrix_with_metrics(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
     let n = graphs.len();
-    let feats = parallel_features(kernel, graphs, threads);
-    // Pairwise dot products, parallel over rows.
+    let feats = parallel_features_with_metrics(kernel, graphs, threads, metrics);
+    // Pairwise dot products for the upper triangle. Row i costs n − i dot
+    // products, so handing out whole rows front-to-back leaves the worker
+    // that drew row 0 doing ~n work while the one that drew row n−1 does 1.
+    // Instead hand out *pairs* of rows (k, n−1−k): every pair costs exactly
+    // n + 1 dot products, so the blocks are uniform regardless of which
+    // worker draws which. Each (i, j) product is still computed exactly once
+    // by the same expression, so the result is bit-identical to the serial
+    // computation no matter the thread count.
+    let _span = metrics.map(|m| m.span("gram"));
+    if let Some(m) = metrics {
+        m.counter("kernel/dot_products")
+            .add((n * (n + 1) / 2) as u64);
+    }
     let threads = threads.max(1).min(n.max(1));
-    let next_row = AtomicUsize::new(0);
+    let half = n.div_ceil(2);
+    let next_block = AtomicUsize::new(0);
     let rows: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let next_row = &next_row;
+                let next_block = &next_block;
                 let feats = &feats;
                 s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = next_row.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let k = next_block.fetch_add(1, Ordering::Relaxed);
+                        if k >= half {
                             break;
                         }
-                        // Compute the upper triangle of row i (j >= i).
-                        let row: Vec<f64> = (i..n).map(|j| feats[i].dot(&feats[j])).collect();
-                        local.push((i, row));
+                        // The middle row pairs with itself when n is odd.
+                        let pair = n - 1 - k;
+                        let block: &[usize] = if pair == k { &[k] } else { &[k, pair] };
+                        for &i in block {
+                            // Compute the upper triangle of row i (j >= i).
+                            let row: Vec<f64> = (i..n).map(|j| feats[i].dot(&feats[j])).collect();
+                            local.push((i, row));
+                        }
                     }
                     local
                 })
@@ -239,6 +287,44 @@ mod tests {
                 assert_eq!(m1.value(i, j), m8.value(i, j));
             }
         }
+    }
+
+    #[test]
+    fn balanced_scheduling_is_bit_exact_for_all_small_sizes() {
+        // The pair-blocked schedule hands out rows in a different order than
+        // a serial sweep; every (i, j) entry must nonetheless equal the
+        // directly computed kernel value exactly, for odd and even n alike.
+        let all = race_graphs(9, 100.0);
+        let k = WlKernel::default();
+        for n in 1..=9 {
+            let graphs = &all[..n];
+            for threads in [1, 2, 8] {
+                let m = gram_matrix(&k, graphs, threads);
+                for i in 0..n {
+                    for j in 0..n {
+                        assert_eq!(
+                            m.value(i, j),
+                            k.value(&graphs[i], &graphs[j]),
+                            "n={n} threads={threads} ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_metrics_count_dot_products_and_features() {
+        let graphs = race_graphs(6, 100.0);
+        let reg = anacin_obs::MetricsRegistry::new();
+        let m = gram_matrix_with_metrics(&WlKernel::default(), &graphs, 2, Some(&reg));
+        assert_eq!(m.len(), 6);
+        let report = reg.report();
+        assert_eq!(report.counter("kernel/features"), Some(6));
+        assert_eq!(report.counter("kernel/dot_products"), Some(6 * 7 / 2));
+        assert!(report.gauge("kernel/threads").unwrap() >= 1.0);
+        assert!(report.span("features").is_some());
+        assert!(report.span("gram").is_some());
     }
 
     #[test]

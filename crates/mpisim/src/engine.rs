@@ -31,6 +31,7 @@ use crate::replay::MatchRecord;
 use crate::stack::CallStackId;
 use crate::trace::{EventId, EventKind, Trace, TraceEvent, TraceMeta};
 use crate::types::{ChannelSeq, Rank, ReqSlot, SimTime, Tag};
+use anacin_obs::MetricsRegistry;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -242,7 +243,22 @@ impl PartialOrd for QueuedArrival {
 
 /// Run `program` under `config` with free (MPI-standard) matching.
 pub fn simulate(program: &Program, config: &SimConfig) -> Result<Trace, SimError> {
-    Engine::new(program, config, None).run()
+    Engine::new(program, config, None).run(None)
+}
+
+/// [`simulate`], instrumented: records the run's wall time under the span
+/// `sim` and flushes execution counters (`sim/events`, `sim/messages`,
+/// `sim/matched`, `sim/wildcard_matches`, `sim/delays_injected`) into
+/// `metrics`. With `metrics = None` this is exactly [`simulate`] — the
+/// instrumentation never touches simulated time or matching, so traces
+/// are bit-identical either way.
+pub fn simulate_with_metrics(
+    program: &Program,
+    config: &SimConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Trace, SimError> {
+    let _span = metrics.map(|m| m.span("sim"));
+    Engine::new(program, config, None).run(metrics)
 }
 
 /// Run `program` under `config`, forcing every wildcard receive to match
@@ -252,7 +268,7 @@ pub fn simulate_replay(
     config: &SimConfig,
     record: &MatchRecord,
 ) -> Result<Trace, SimError> {
-    Engine::new(program, config, Some(record)).run()
+    Engine::new(program, config, Some(record)).run(None)
 }
 
 struct Engine<'a> {
@@ -288,7 +304,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> Result<Trace, SimError> {
+    fn run(mut self, metrics: Option<&MetricsRegistry>) -> Result<Trace, SimError> {
         let world = self.program.world_size();
         // Every rank calls Init at t=0 and runs to its first blocking point.
         for r in 0..world {
@@ -344,12 +360,19 @@ impl<'a> Engine<'a> {
             unmatched_messages: unmatched,
         };
         let events = self.ranks.into_iter().map(|r| r.events).collect();
-        Ok(Trace::new(
-            world,
-            events,
-            self.program.stacks().clone(),
-            meta,
-        ))
+        let trace = Trace::new(world, events, self.program.stacks().clone(), meta);
+        if let Some(m) = metrics {
+            m.counter("sim/runs").inc();
+            m.counter("sim/events").add(trace.total_events() as u64);
+            m.counter("sim/messages").add(trace.meta.messages);
+            m.counter("sim/matched")
+                .add(trace.meta.messages - trace.meta.unmatched_messages);
+            m.counter("sim/wildcard_matches")
+                .add(trace.wildcard_recv_count() as u64);
+            m.counter("sim/delays_injected")
+                .add(self.network.delays_injected());
+        }
+        Ok(trace)
     }
 
     /// Execute `rank` from its current pc until it blocks or finishes.

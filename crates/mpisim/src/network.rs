@@ -183,6 +183,7 @@ pub struct NetworkModel<R: Rng> {
     config: NetworkConfig,
     world_size: u32,
     rng: R,
+    delays_injected: u64,
 }
 
 impl<R: Rng> NetworkModel<R> {
@@ -192,12 +193,19 @@ impl<R: Rng> NetworkModel<R> {
             config,
             world_size,
             rng,
+            delays_injected: 0,
         }
     }
 
     /// The static configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
+    }
+
+    /// How many messages drew a congestion delay so far — the realised
+    /// count behind the configured `nd_fraction` probability.
+    pub fn delays_injected(&self) -> u64 {
+        self.delays_injected
     }
 
     /// Compute the delivery time of a message of `bytes` bytes injected at
@@ -222,6 +230,7 @@ impl<R: Rng> NetworkModel<R> {
         let bw = (bytes as f64 * self.config.per_byte_ns).round() as u64;
         let mut latency = base + bw;
         if self.config.nd_fraction > 0.0 && self.rng.gen_bool(self.config.nd_fraction.min(1.0)) {
+            self.delays_injected += 1;
             let mut d = self.config.delay.sample(&mut self.rng);
             if !same_node {
                 d *= self.config.inter_node_delay_factor;
@@ -344,6 +353,26 @@ mod tests {
                 "{d:?}: empirical mean {empirical} vs expected {expected}"
             );
         }
+    }
+
+    #[test]
+    fn delay_injection_counter_tracks_nd_fraction() {
+        let mut det = NetworkModel::new(
+            NetworkConfig::deterministic(),
+            2,
+            SmallRng::seed_from_u64(0),
+        );
+        let mut full = NetworkModel::new(
+            NetworkConfig::with_nd_percent(100.0),
+            2,
+            SmallRng::seed_from_u64(0),
+        );
+        for _ in 0..50 {
+            det.delivery_time(Rank(0), Rank(1), 8, SimTime::ZERO);
+            full.delivery_time(Rank(0), Rank(1), 8, SimTime::ZERO);
+        }
+        assert_eq!(det.delays_injected(), 0);
+        assert_eq!(full.delays_injected(), 50);
     }
 
     #[test]

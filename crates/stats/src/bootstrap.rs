@@ -40,7 +40,7 @@ pub fn bootstrap_ci(
         }
         stats.push(statistic(&buf));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("no NaN statistics"));
+    stats.sort_by(f64::total_cmp);
     let alpha = 1.0 - level;
     ConfidenceInterval {
         lo: crate::quantile::quantile_sorted(&stats, alpha / 2.0),

@@ -37,7 +37,7 @@ impl Summary {
             0.0
         };
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        sorted.sort_by(f64::total_cmp);
         Some(Summary {
             n,
             mean,

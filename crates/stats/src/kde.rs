@@ -116,7 +116,7 @@ mod tests {
         let argmax =
             c.xs.iter()
                 .zip(&c.densities)
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
         assert!(argmax.abs() < 0.5, "peak at {argmax}, expected near 0");
@@ -144,6 +144,27 @@ mod tests {
         assert_eq!(kde_at(&[], 1.0, 0.0), 0.0);
         let c = kde_curve(&[], 16);
         assert_eq!(c.peak(), 0.0);
+    }
+
+    #[test]
+    fn nan_sample_bandwidth_is_positive() {
+        // A NaN poisons mean/sd, but the fallback must still yield a
+        // positive bandwidth rather than panicking in the sort.
+        let h = silverman_bandwidth(&[1.0, f64::NAN, 2.0]);
+        assert!(h > 0.0, "bandwidth {h}");
+    }
+
+    #[test]
+    fn single_element_bandwidth_is_positive() {
+        assert!(silverman_bandwidth(&[42.0]) > 0.0);
+        assert!(silverman_bandwidth(&[]) > 0.0);
+    }
+
+    #[test]
+    fn nan_count_helper() {
+        assert_eq!(crate::nan_count(&[1.0, f64::NAN, 2.0, f64::NAN]), 2);
+        assert_eq!(crate::nan_count(&[]), 0);
+        assert_eq!(crate::nan_count(&[0.0]), 0);
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub mod mwu;
 pub mod quantile;
 pub mod violin;
 
+/// Number of NaN values in a sample.
+///
+/// The sorting helpers in this crate order NaNs after every finite value
+/// (`f64::total_cmp`) instead of panicking; pipelines that want to *report*
+/// contaminated samples (e.g. the `stats/nan_distances` campaign metric)
+/// screen with this first.
+pub fn nan_count(sample: &[f64]) -> usize {
+    sample.iter().filter(|x| x.is_nan()).count()
+}
+
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::bootstrap::{bootstrap_ci, mean_ci, ConfidenceInterval};
@@ -38,6 +48,7 @@ pub mod prelude {
     pub use crate::histogram::Histogram;
     pub use crate::kde::{kde_curve, silverman_bandwidth, KdeCurve};
     pub use crate::mwu::{mann_whitney_u, normal_cdf, MwuResult};
+    pub use crate::nan_count;
     pub use crate::quantile::{quantile, quantile_sorted, quantiles};
     pub use crate::violin::ViolinSummary;
 }

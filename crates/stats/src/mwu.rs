@@ -47,7 +47,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MwuResult {
     let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
     // Tie correction for the variance.
     let mut sorted = pooled.clone();
-    sorted.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let n = n1 + n2;
     let mut tie_term = 0.0;
     let mut i = 0;
