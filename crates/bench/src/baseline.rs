@@ -1,12 +1,16 @@
-//! Pipeline baseline: mean-of-N per-stage wall-times for the paper's three
-//! patterns, derived from the observability layer's span timers rather than
-//! a separate harness. `anacin bench baseline` writes the report as
-//! `BENCH_baseline.json`; CI uploads it so perf regressions across the
-//! simulate/graph/features/gram stages are visible per commit.
+//! Pipeline baseline: mean-of-N per-stage wall-times for every mini-app
+//! pattern (the paper's three plus the collectives and stencil2d
+//! extensions), derived from the observability layer's span timers rather
+//! than a separate harness. Each pattern is additionally re-run with a
+//! [`Tracer`] attached, so the report tracks `trace_overhead_pct` — the
+//! cost of tracing relative to the untraced pipeline — from day one.
+//! `anacin bench baseline` writes the report as `BENCH_baseline.json`; CI
+//! uploads it so perf regressions across the simulate/graph/features/gram
+//! stages are visible per commit.
 
 use anacin_core::prelude::*;
 use anacin_miniapps::Pattern;
-use anacin_obs::MetricsRegistry;
+use anacin_obs::{MetricsRegistry, Tracer};
 use serde::Serialize;
 
 /// What to measure: campaign shape and repetition count.
@@ -50,6 +54,11 @@ pub struct StageTimings {
     pub gram_ms: f64,
     /// Mean end-to-end campaign wall-time.
     pub total_ms: f64,
+    /// Relative cost of running the same campaigns with a tracer
+    /// attached: `(traced_total − total) / total × 100`. Noisy at small
+    /// scales (can go negative); tracked so a tracing-cost regression is
+    /// visible per commit.
+    pub trace_overhead_pct: f64,
     /// Simulator events executed across all samples.
     pub events: u64,
     /// Kernel dot products computed across all samples.
@@ -73,7 +82,8 @@ impl BaselineReport {
     /// Human-readable stage table.
     pub fn render_table(&self) -> String {
         let mut out = format!(
-            "baseline: procs={} runs={} samples={}\n{:<16} {:>12} {:>10} {:>12} {:>10} {:>10}\n",
+            "baseline: procs={} runs={} samples={}\n\
+             {:<16} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
             self.procs,
             self.runs,
             self.samples,
@@ -82,12 +92,19 @@ impl BaselineReport {
             "graph_ms",
             "features_ms",
             "gram_ms",
-            "total_ms"
+            "total_ms",
+            "trace_ovh%"
         );
         for r in &self.patterns {
             out.push_str(&format!(
-                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>10.3}\n",
-                r.pattern, r.simulate_ms, r.graph_ms, r.features_ms, r.gram_ms, r.total_ms
+                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>10.3} {:>10.1}\n",
+                r.pattern,
+                r.simulate_ms,
+                r.graph_ms,
+                r.features_ms,
+                r.gram_ms,
+                r.total_ms,
+                r.trace_overhead_pct
             ));
         }
         out
@@ -97,36 +114,56 @@ impl BaselineReport {
 /// Run `samples` campaigns per paper pattern and report the mean per-stage
 /// wall-times from the metrics registry's span timers.
 pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
-    let patterns = [
-        Pattern::MessageRace,
-        Pattern::Amg2013,
-        Pattern::UnstructuredMesh,
-    ];
-    let mut rows = Vec::with_capacity(patterns.len());
-    for p in patterns {
-        let reg = MetricsRegistry::new();
+    let mut rows = Vec::with_capacity(Pattern::ALL.len());
+    for p in Pattern::ALL {
         let ccfg = CampaignConfig::new(p, cfg.procs)
             .runs(cfg.runs)
             .base_seed(cfg.base_seed);
+        // Untraced pass: the published stage timings.
+        let reg = MetricsRegistry::new();
         for _ in 0..cfg.samples {
             run_campaign_with_metrics(&ccfg, Some(&reg)).expect("baseline campaign");
         }
         let report = reg.report();
-        // Each campaign records one span per stage, so mean = total / count.
-        let mean_ms = |path: &str| {
-            report
-                .span(path)
-                .map(|s| s.total_ns as f64 / s.count as f64 / 1e6)
+        // Traced pass: same campaigns with a tracer attached, so the
+        // report carries the relative cost of tracing.
+        let traced_reg = MetricsRegistry::new();
+        let tracer = Tracer::new();
+        traced_reg.attach_tracer(&tracer);
+        for _ in 0..cfg.samples {
+            run_campaign_observed(&ccfg, Some(&traced_reg), Some(&tracer), 0)
+                .expect("traced baseline campaign");
+        }
+        let traced = traced_reg.report();
+        // Each campaign records one span per stage, so mean = total / count
+        // (guarded: a span deserialised or merged with zero count means 0).
+        let mean_ms = |rep: &anacin_obs::MetricsReport, path: &str| {
+            rep.span(path)
+                .map(|s| {
+                    if s.count == 0 {
+                        0.0
+                    } else {
+                        s.total_ns as f64 / s.count as f64 / 1e6
+                    }
+                })
                 .unwrap_or(0.0)
+        };
+        let total_ms = mean_ms(&report, "campaign");
+        let traced_total_ms = mean_ms(&traced, "campaign");
+        let trace_overhead_pct = if total_ms > 0.0 {
+            (traced_total_ms - total_ms) / total_ms * 100.0
+        } else {
+            0.0
         };
         rows.push(StageTimings {
             pattern: p.to_string(),
             samples: cfg.samples,
-            simulate_ms: mean_ms("campaign/simulate"),
-            graph_ms: mean_ms("campaign/graph"),
-            features_ms: mean_ms("campaign/kernel/features"),
-            gram_ms: mean_ms("campaign/kernel/gram"),
-            total_ms: mean_ms("campaign"),
+            simulate_ms: mean_ms(&report, "campaign/simulate"),
+            graph_ms: mean_ms(&report, "campaign/graph"),
+            features_ms: mean_ms(&report, "campaign/kernel/features"),
+            gram_ms: mean_ms(&report, "campaign/kernel/gram"),
+            total_ms,
+            trace_overhead_pct,
             events: report.counter("sim/events").unwrap_or(0),
             dot_products: report.counter("kernel/dot_products").unwrap_or(0),
         });
@@ -144,7 +181,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_baseline_covers_three_patterns() {
+    fn tiny_baseline_covers_every_pattern() {
         let cfg = BaselineConfig {
             procs: 4,
             runs: 2,
@@ -152,7 +189,7 @@ mod tests {
             base_seed: 1,
         };
         let r = run_baseline(&cfg);
-        assert_eq!(r.patterns.len(), 3);
+        assert_eq!(r.patterns.len(), Pattern::ALL.len());
         for row in &r.patterns {
             assert!(
                 row.total_ms > 0.0,
@@ -163,14 +200,19 @@ mod tests {
             assert!(row.simulate_ms >= 0.0);
             assert!(row.events > 0);
             assert_eq!(row.dot_products, 2 * 3 / 2);
+            assert!(row.trace_overhead_pct.is_finite(), "{}", row.pattern);
         }
         let table = r.render_table();
         assert!(
             table.contains("message-race") || table.contains("race"),
             "{table}"
         );
+        assert!(table.contains("collectives"), "{table}");
+        assert!(table.contains("stencil2d"), "{table}");
+        assert!(table.contains("trace_ovh%"), "{table}");
         // Serialises cleanly for BENCH_baseline.json.
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"patterns\""));
+        assert!(json.contains("\"trace_overhead_pct\""));
     }
 }

@@ -8,7 +8,7 @@ use anacin_event_graph::{export, EventGraph};
 use anacin_kernels::prelude::*;
 use anacin_miniapps::{MiniAppConfig, Pattern};
 use anacin_mpisim::prelude::*;
-use anacin_obs::MetricsRegistry;
+use anacin_obs::{MetricsRegistry, Tracer};
 use anacin_viz::{ascii, svg};
 use std::io::Write as _;
 
@@ -23,6 +23,10 @@ COMMANDS
               --runs N  --iterations N  --nodes N  --seed S  [--json]
               [--metrics FILE]  write a pipeline metrics report (JSON) and
                                 print a per-stage summary table to stderr
+              [--trace FILE[.json|.folded]]  record an execution trace:
+                                Chrome Trace Event JSON (Perfetto) or
+                                folded flamegraph stacks (inferno)
+              [--trace-capacity N]  trace ring size in events (default 262144)
   graph       render one run's event graph
               --pattern … --procs N --nd P --seed S
               --format ascii|dot|graphml|json|svg  [--out FILE]
@@ -30,7 +34,9 @@ COMMANDS
               --pattern … --procs N --nd P --seed-a A --seed-b B
   sweep       parameter sweep
               --kind nd|procs|iterations  --pattern … --procs N --runs N
-              [--metrics FILE]
+              [--metrics FILE]  per-point metrics breakdown + merged
+                                aggregate (JSON {aggregate, points})
+              [--trace FILE[.json|.folded]] [--trace-capacity N]
   bench       performance baselines
               anacin bench baseline [--procs N] [--runs N] [--samples N]
               [--out FILE]  (default BENCH_baseline.json)
@@ -62,6 +68,8 @@ COMMANDS
   timeline    per-rank Gantt view of one run
               --pattern … --procs N --nd P --seed S  [--out FILE.svg]
   trace       export one run's trace as JSON — … [--out FILE]
+              anacin trace view FILE  summarise a recorded Chrome trace
+              (per-rank event counts, busiest rank, longest gap, top spans)
   record      save a run's matching decisions — … --out FILE
               (feed back with: replay --record FILE)
   course      print the course module; --lesson 1..4 runs a use case
@@ -130,6 +138,36 @@ fn metrics_of(args: &Args) -> Option<(String, MetricsRegistry)> {
         .map(|p| (p.to_string(), MetricsRegistry::new()))
 }
 
+/// When `--trace FILE` was given: a fresh tracer (ring capacity from
+/// `--trace-capacity`, default 262144 events) plus its target path.
+fn tracer_of(args: &Args) -> Result<Option<(String, Tracer)>, String> {
+    match args.get("trace") {
+        Some(path) => {
+            let capacity: usize =
+                args.get_parsed("trace-capacity", anacin_obs::DEFAULT_CAPACITY)?;
+            Ok(Some((path.to_string(), Tracer::with_capacity(capacity))))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Export a tracer's snapshot: `.folded` paths get flamegraph folded
+/// stacks, everything else Chrome Trace Event JSON (Perfetto-loadable).
+fn write_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
+    let snap = tracer.snapshot();
+    let content = if path.ends_with(".folded") {
+        snap.folded_stacks()
+    } else {
+        snap.chrome_trace(true)
+    };
+    std::fs::write(path, content).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trace written to {path} ({} events recorded, {} dropped)",
+        snap.recorded, snap.dropped
+    );
+    Ok(())
+}
+
 /// Write the registry's report as pretty JSON and print the per-stage
 /// summary table to stderr (stderr so `--json` stdout stays parseable).
 fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
@@ -144,10 +182,24 @@ fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = campaign_of(args)?;
     let metrics = metrics_of(args);
-    let result = run_campaign_with_metrics(&cfg, metrics.as_ref().map(|(_, m)| m))
+    let tracer = tracer_of(args)?;
+    // Tracing needs a registry for wall-clock spans even when no metrics
+    // file was requested; spin up an internal one in that case.
+    let reg = match (&metrics, &tracer) {
+        (Some((_, reg)), _) => Some(reg.clone()),
+        (None, Some(_)) => Some(MetricsRegistry::new()),
+        (None, None) => None,
+    };
+    if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
+        reg.attach_tracer(t);
+    }
+    let result = run_campaign_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
         .map_err(|e| e.to_string())?;
     if let Some((path, reg)) = &metrics {
         write_metrics(path, reg)?;
+    }
+    if let Some((path, t)) = &tracer {
+        write_trace(path, t)?;
     }
     let m = NdMeasurement::from_campaign(format!("{} @ {}%", cfg.pattern, cfg.nd_percent), &result);
     if args.flag("json") {
@@ -238,23 +290,54 @@ fn cmd_distance(args: &Args) -> Result<(), String> {
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let base = campaign_of(args)?;
-    let metrics = metrics_of(args);
-    let reg = metrics.as_ref().map(|(_, m)| m);
-    let sweep = match args.get_or("kind", "nd").as_str() {
-        "nd" => {
-            let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
-            sweep_nd_percent_with_metrics(&base, &percents, reg)
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let tracer = tracer_of(args)?;
+    let tr = tracer.as_ref().map(|(_, t)| t);
+    let kind = args.get_or("kind", "nd");
+    let instrumented = metrics_path.is_some() || tracer.is_some();
+    let sweep = if instrumented {
+        // Instrumented path: per-point registries so stage time can be
+        // plotted against the swept parameter, plus optional tracing.
+        let (sweep, sm) = match kind.as_str() {
+            "nd" => {
+                let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+                sweep_nd_percent_instrumented(&base, &percents, tr)
+            }
+            "procs" => {
+                let p = base.app.procs;
+                sweep_procs_instrumented(&base, &[(p / 2).max(2), p, p * 2], tr)
+            }
+            "iterations" => sweep_iterations_instrumented(&base, &[1, 2, 4], tr),
+            other => return Err(format!("unknown sweep kind '{other}'")),
         }
-        "procs" => {
-            let p = base.app.procs;
-            sweep_procs_with_metrics(&base, &[(p / 2).max(2), p, p * 2], reg)
+        .map_err(|e| e.to_string())?;
+        if let Some(path) = &metrics_path {
+            let json = serde_json::to_string_pretty(&sm).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            eprint!("{}", sm.aggregate.render_table());
+            eprintln!(
+                "metrics report written to {path} ({} sweep points)",
+                sm.points.len()
+            );
         }
-        "iterations" => sweep_iterations_with_metrics(&base, &[1, 2, 4], reg),
-        other => return Err(format!("unknown sweep kind '{other}'")),
-    }
-    .map_err(|e| e.to_string())?;
-    if let Some((path, reg)) = &metrics {
-        write_metrics(path, reg)?;
+        sweep
+    } else {
+        match kind.as_str() {
+            "nd" => {
+                let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+                sweep_nd_percent(&base, &percents)
+            }
+            "procs" => {
+                let p = base.app.procs;
+                sweep_procs(&base, &[(p / 2).max(2), p, p * 2])
+            }
+            "iterations" => sweep_iterations(&base, &[1, 2, 4]),
+            other => return Err(format!("unknown sweep kind '{other}'")),
+        }
+        .map_err(|e| e.to_string())?
+    };
+    if let Some((path, t)) = &tracer {
+        write_trace(path, t)?;
     }
     print!("{}", sweep_table(&sweep));
     println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
@@ -642,6 +725,16 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
+    if args.positional.first().map(String::as_str) == Some("view") {
+        let path = args
+            .positional
+            .get(1)
+            .ok_or("trace view requires a FILE argument")?;
+        let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let summary = trace_view_summary(&data).map_err(|e| format!("{path}: {e}"))?;
+        print!("{summary}");
+        return Ok(());
+    }
     let pattern = pattern_of(args)?;
     let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
     app.iterations = args.get_parsed("iterations", 1u32)?;
@@ -651,6 +744,138 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let trace = simulate(&program, &sim).map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
     write_out(args, &json)
+}
+
+/// Render the ASCII summary of a recorded Chrome trace: per-rank event
+/// counts with proportional bars, the busiest rank, the longest inter-event
+/// gap on any rank, and the top-5 wall-clock spans by total time.
+fn trace_view_summary(data: &str) -> Result<String, String> {
+    use serde::map_get;
+    let doc = serde_json::from_str_value(data).map_err(|e| e.to_string())?;
+    let root = doc.as_object().ok_or("trace root must be an object")?;
+    let events = map_get(root, "traceEvents")
+        .as_array()
+        .ok_or("missing traceEvents array")?;
+    // (run pid, rank tid) -> event timestamps (µs, in file order).
+    let mut rank_ts: Vec<((i128, i128), Vec<f64>)> = Vec::new();
+    // wall span name -> (count, total µs); B/E matched per (tid, name) stack.
+    let mut open: Vec<((i128, String), Vec<f64>)> = Vec::new();
+    let mut span_totals: Vec<(String, u64, f64)> = Vec::new();
+    for ev in events {
+        let Some(obj) = ev.as_object() else { continue };
+        let ph = map_get(obj, "ph").as_str().unwrap_or("");
+        let cat = map_get(obj, "cat").as_str().unwrap_or("");
+        if cat == "sim" && ph == "X" {
+            let pid = map_get(obj, "pid").as_int().unwrap_or(0);
+            let tid = map_get(obj, "tid").as_int().unwrap_or(0);
+            let ts = map_get(obj, "ts").as_f64().unwrap_or(0.0);
+            match rank_ts.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+                Some((_, v)) => v.push(ts),
+                None => rank_ts.push(((pid, tid), vec![ts])),
+            }
+        } else if cat == "wall" && (ph == "B" || ph == "E") {
+            let tid = map_get(obj, "tid").as_int().unwrap_or(0);
+            let name = map_get(obj, "name").as_str().unwrap_or("").to_string();
+            let ts = map_get(obj, "ts").as_f64().unwrap_or(0.0);
+            let key = (tid, name.clone());
+            if ph == "B" {
+                match open.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => v.push(ts),
+                    None => open.push((key, vec![ts])),
+                }
+            } else if let Some(begin) = open
+                .iter_mut()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| v.pop())
+            {
+                let dur = (ts - begin).max(0.0);
+                match span_totals.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some((_, c, t)) => {
+                        *c += 1;
+                        *t += dur;
+                    }
+                    None => span_totals.push((name, 1, dur)),
+                }
+            }
+        }
+    }
+    if rank_ts.is_empty() && span_totals.is_empty() {
+        return Err("no sim events or wall spans found (is this an anacin trace?)".to_string());
+    }
+    rank_ts.sort_by_key(|a| a.0);
+    let mut out = String::new();
+    let runs: Vec<i128> = {
+        let mut v: Vec<i128> = rank_ts.iter().map(|((pid, _), _)| *pid).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let total_events: usize = rank_ts.iter().map(|(_, v)| v.len()).sum();
+    out.push_str(&format!(
+        "sim events: {} across {} run(s), {} rank track(s)\n",
+        total_events,
+        runs.len(),
+        rank_ts.len()
+    ));
+    let max_count = rank_ts.iter().map(|(_, v)| v.len()).max().unwrap_or(1);
+    for ((pid, tid), ts) in &rank_ts {
+        let bar_len = (ts.len() * 40 / max_count.max(1)).max(1);
+        let span_us = match (
+            ts.iter().cloned().reduce(f64::min),
+            ts.iter().cloned().reduce(f64::max),
+        ) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0.0,
+        };
+        out.push_str(&format!(
+            "  run {:>3} rank {:>3}: {:>6} events  {:<40}  [{:.1} µs sim-time]\n",
+            pid - 1000,
+            tid,
+            ts.len(),
+            "#".repeat(bar_len),
+            span_us
+        ));
+    }
+    if let Some(((pid, tid), v)) = rank_ts.iter().max_by_key(|(_, v)| v.len()) {
+        out.push_str(&format!(
+            "busiest rank: run {} rank {} ({} events)\n",
+            pid - 1000,
+            tid,
+            v.len()
+        ));
+    }
+    // Longest gap between consecutive events on any single rank track
+    // (timestamps are monotone per track by construction).
+    let mut longest: Option<((i128, i128), f64)> = None;
+    for ((pid, tid), ts) in &rank_ts {
+        for w in ts.windows(2) {
+            let gap = w[1] - w[0];
+            if longest.as_ref().is_none_or(|(_, g)| gap > *g) {
+                longest = Some(((*pid, *tid), gap));
+            }
+        }
+    }
+    if let Some(((pid, tid), gap)) = longest {
+        out.push_str(&format!(
+            "longest gap: {:.3} µs on run {} rank {}\n",
+            gap,
+            pid - 1000,
+            tid
+        ));
+    }
+    if !span_totals.is_empty() {
+        span_totals.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        out.push_str("top spans by total wall time:\n");
+        for (name, count, total_us) in span_totals.iter().take(5) {
+            out.push_str(&format!(
+                "  {:<34} {:>6} x {:>12.3} ms\n",
+                name,
+                count,
+                total_us / 1e3
+            ));
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_record(args: &Args) -> Result<(), String> {

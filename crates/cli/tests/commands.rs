@@ -357,6 +357,109 @@ fn report_and_explain_and_ablation() {
 }
 
 #[test]
+fn run_with_trace_exports_chrome_json_and_view_summarises_it() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    run(&[
+        "run",
+        "--pattern",
+        "race",
+        "--procs",
+        "5",
+        "--runs",
+        "3",
+        "--trace",
+        path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"traceEvents\""));
+    // One thread_name metadata track per rank, per run.
+    for r in 0..5 {
+        assert!(json.contains(&format!("\"name\":\"rank {r}\"")), "rank {r}");
+    }
+    assert!(json.contains("\"cat\":\"sim\""));
+    assert!(json.contains("\"cat\":\"wall\""));
+    // The file is valid JSON for the workspace parser.
+    serde_json::from_str_value(&json).unwrap();
+    // And `trace view` accepts it.
+    run(&["trace", "view", path.to_str().unwrap()]).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(run(&["trace", "view"]).unwrap_err().contains("FILE"));
+    assert!(run(&["trace", "view", "/nonexistent/trace.json"]).is_err());
+}
+
+#[test]
+fn run_with_folded_trace_writes_flamegraph_stacks() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.folded");
+    run(&[
+        "run",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--runs",
+        "3",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-capacity",
+        "4096",
+    ])
+    .unwrap();
+    let folded = std::fs::read_to_string(&path).unwrap();
+    assert!(folded.contains("campaign"), "{folded}");
+    for line in folded.lines() {
+        let (_, weight) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(weight.parse::<u64>().is_ok(), "{line}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_metrics_emit_per_point_breakdown() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep_metrics.json");
+    run(&[
+        "sweep",
+        "--kind",
+        "iterations",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--runs",
+        "3",
+        "--metrics",
+        path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    let doc = serde_json::from_str_value(&json).unwrap();
+    let root = doc.as_object().unwrap();
+    let points = serde::map_get(root, "points").as_array().unwrap();
+    assert_eq!(points.len(), 3, "one report per sweep point");
+    for p in points {
+        let obj = p.as_object().unwrap();
+        assert_eq!(
+            serde::map_get(obj, "parameter").as_str(),
+            Some("iterations")
+        );
+        assert!(serde::map_get(obj, "label").as_str().is_some());
+        let report = serde::map_get(obj, "report").as_object().unwrap();
+        assert!(!serde::map_get(report, "spans")
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+    assert!(serde::map_get(root, "aggregate").as_object().is_some());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn course_agenda_and_related_work() {
     run(&["course", "--agenda"]).unwrap();
     run(&["course", "--related-work"]).unwrap();

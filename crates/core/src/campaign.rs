@@ -8,11 +8,11 @@
 use crate::config::CampaignConfig;
 use anacin_event_graph::EventGraph;
 use anacin_kernels::matrix::{gram_matrix_with_metrics, KernelMatrix};
-use anacin_mpisim::engine::{simulate_with_metrics, SimError};
+use anacin_mpisim::engine::{simulate_traced, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::stack::CallStackTable;
 use anacin_mpisim::trace::Trace;
-use anacin_obs::MetricsRegistry;
+use anacin_obs::{MetricsRegistry, Tracer};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -90,6 +90,22 @@ pub fn run_traces_with_metrics(
     config: &CampaignConfig,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Vec<Trace>, CampaignError> {
+    run_traces_observed(program, config, metrics, None, 0)
+}
+
+/// [`run_traces_with_metrics`], plus timeline tracing: with a [`Tracer`],
+/// every run's finished trace is emitted as simulated-time records tagged
+/// with run index `run_base + i` (the offset keeps run ids unique when one
+/// tracer spans several campaigns, e.g. across sweep points). Tracing
+/// happens after each simulation completes, so traces are bit-identical
+/// to an unobserved run.
+pub fn run_traces_observed(
+    program: &Program,
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+) -> Result<Vec<Trace>, CampaignError> {
     let runs = config.runs as usize;
     let threads = config.threads.max(1).min(runs.max(1));
     let next = AtomicUsize::new(0);
@@ -105,7 +121,8 @@ pub fn run_traces_with_metrics(
                             break;
                         }
                         let sc = config.sim_config(i as u32);
-                        local.push((i, simulate_with_metrics(program, &sc, metrics)));
+                        let t = tracer.map(|t| (t, run_base + i as u32));
+                        local.push((i, simulate_traced(program, &sc, metrics, t)));
                     }
                     local
                 })
@@ -160,11 +177,26 @@ pub fn run_campaign_with_metrics(
     config: &CampaignConfig,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_observed(config, metrics, None, 0)
+}
+
+/// [`run_campaign_with_metrics`], plus timeline tracing: with a
+/// [`Tracer`], each run's simulated-time events are emitted tagged with
+/// `(run_base + i, seed)` — see [`run_traces_observed`]. Wall-clock
+/// pipeline spans reach the same tracer when it is also attached to
+/// `metrics` via [`MetricsRegistry::attach_tracer`]; this function does
+/// not attach it implicitly, so callers control which registries emit.
+pub fn run_campaign_observed(
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+) -> Result<CampaignResult, CampaignError> {
     let _campaign_span = metrics.map(|m| m.span("campaign"));
     let program = config.pattern.build(&config.app);
     let traces = {
         let _s = metrics.map(|m| m.span("simulate"));
-        run_traces_with_metrics(&program, config, metrics)?
+        run_traces_observed(&program, config, metrics, tracer, run_base)?
     };
     let graphs: Vec<EventGraph> = {
         let _s = metrics.map(|m| m.span("graph"));

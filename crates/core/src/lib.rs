@@ -40,16 +40,18 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::ablation::{ablate, default_kernels, AblationReport, AblationRow};
     pub use crate::campaign::{
-        run_campaign, run_campaign_with_metrics, run_traces, run_traces_with_metrics,
-        CampaignError, CampaignResult,
+        run_campaign, run_campaign_observed, run_campaign_with_metrics, run_traces,
+        run_traces_observed, run_traces_with_metrics, CampaignError, CampaignResult,
     };
     pub use crate::config::{default_threads, CampaignConfig, KernelChoice};
     pub use crate::measure::NdMeasurement;
     pub use crate::report::{ranking_table, sweep_table, MeasurementReport};
     pub use crate::root_cause::{analyze, CallstackRanking, RootCauseConfig};
     pub use crate::sweep::{
-        sweep_iterations, sweep_iterations_with_metrics, sweep_nd_percent,
-        sweep_nd_percent_with_metrics, sweep_procs, sweep_procs_with_metrics, Sweep, SweepPoint,
+        sweep_iterations, sweep_iterations_instrumented, sweep_iterations_with_metrics,
+        sweep_nd_percent, sweep_nd_percent_instrumented, sweep_nd_percent_with_metrics,
+        sweep_procs, sweep_procs_instrumented, sweep_procs_with_metrics, Sweep, SweepMetrics,
+        SweepPoint, SweepPointMetrics,
     };
 }
 

@@ -4,11 +4,12 @@
 //! * [`sweep_procs`] — Figure 5 (process-count scaling);
 //! * [`sweep_iterations`] — Figure 6 (iteration scaling).
 
-use crate::campaign::{run_campaign_with_metrics, CampaignError};
+use crate::campaign::{run_campaign_observed, run_campaign_with_metrics, CampaignError};
 use crate::config::CampaignConfig;
 use crate::measure::NdMeasurement;
-use anacin_obs::MetricsRegistry;
+use anacin_obs::{MetricsRegistry, MetricsReport, Tracer};
 use anacin_stats::prelude::spearman;
+use serde::{Deserialize, Serialize};
 
 /// One sweep point: the swept value and its measurement.
 #[derive(Debug, Clone)]
@@ -66,6 +67,76 @@ impl Sweep {
     }
 }
 
+/// Per-stage metrics of one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointMetrics {
+    /// Name of the swept parameter (`nd_percent`, `procs`, `iterations`).
+    pub parameter: String,
+    /// The swept value at this point.
+    pub x: f64,
+    /// Human label of the point (e.g. `nd=30%`, `8 procs`).
+    pub label: String,
+    /// This point's own metrics snapshot (stage spans + counters for the
+    /// one campaign the point ran).
+    pub report: MetricsReport,
+}
+
+/// Metrics of an instrumented sweep: one report per point plus their
+/// merged aggregate — the per-point breakdown lets stage time be plotted
+/// against the swept parameter instead of lumping all campaigns together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepMetrics {
+    /// All per-point reports merged ([`MetricsReport::merge`]).
+    pub aggregate: MetricsReport,
+    /// One entry per sweep point, in sweep order.
+    pub points: Vec<SweepPointMetrics>,
+}
+
+/// Run one sweep point per `(x, label, config)` triple, giving each point
+/// its own registry so stage costs stay attributable per point. A shared
+/// [`Tracer`] (optionally) collects all points' timelines, with run ids
+/// offset by `point_index * base_runs` so they never collide.
+fn sweep_instrumented_impl(
+    parameter: &str,
+    configs: Vec<(f64, String, CampaignConfig)>,
+    tracer: Option<&Tracer>,
+) -> Result<(Sweep, SweepMetrics), CampaignError> {
+    let mut points = Vec::with_capacity(configs.len());
+    let mut metric_points = Vec::with_capacity(configs.len());
+    let mut aggregate = MetricsReport::default();
+    let mut run_base = 0u32;
+    for (x, label, cfg) in configs {
+        let reg = MetricsRegistry::new();
+        if let Some(t) = tracer {
+            reg.attach_tracer(t);
+        }
+        let r = run_campaign_observed(&cfg, Some(&reg), tracer, run_base)?;
+        run_base += cfg.runs;
+        let report = reg.report();
+        aggregate.merge(&report);
+        metric_points.push(SweepPointMetrics {
+            parameter: parameter.to_string(),
+            x,
+            label: label.clone(),
+            report,
+        });
+        points.push(SweepPoint {
+            x,
+            measurement: NdMeasurement::from_campaign(label, &r),
+        });
+    }
+    Ok((
+        Sweep {
+            parameter: parameter.to_string(),
+            points,
+        },
+        SweepMetrics {
+            aggregate,
+            points: metric_points,
+        },
+    ))
+}
+
 /// Sweep the ND percentage (Figure 7: 0..=100 in steps of 10 in the
 /// paper).
 pub fn sweep_nd_percent(base: &CampaignConfig, percents: &[f64]) -> Result<Sweep, CampaignError> {
@@ -92,6 +163,25 @@ pub fn sweep_nd_percent_with_metrics(
         parameter: "nd_percent".to_string(),
         points,
     })
+}
+
+/// [`sweep_nd_percent`], instrumented per point: each point runs under
+/// its own registry (reported in [`SweepMetrics::points`]) and an
+/// optional shared tracer collects every run's timeline with unique run
+/// ids. Measurements are bit-identical to the plain sweep.
+pub fn sweep_nd_percent_instrumented(
+    base: &CampaignConfig,
+    percents: &[f64],
+    tracer: Option<&Tracer>,
+) -> Result<(Sweep, SweepMetrics), CampaignError> {
+    sweep_instrumented_impl(
+        "nd_percent",
+        percents
+            .iter()
+            .map(|&p| (p, format!("nd={p}%"), base.clone().nd_percent(p)))
+            .collect(),
+        tracer,
+    )
 }
 
 /// Sweep the process count (Figure 5 compares 16 vs 32).
@@ -122,6 +212,27 @@ pub fn sweep_procs_with_metrics(
     })
 }
 
+/// [`sweep_procs`], instrumented per point — see
+/// [`sweep_nd_percent_instrumented`].
+pub fn sweep_procs_instrumented(
+    base: &CampaignConfig,
+    procs: &[u32],
+    tracer: Option<&Tracer>,
+) -> Result<(Sweep, SweepMetrics), CampaignError> {
+    sweep_instrumented_impl(
+        "procs",
+        procs
+            .iter()
+            .map(|&n| {
+                let mut cfg = base.clone();
+                cfg.app.procs = n;
+                (n as f64, format!("{n} procs"), cfg)
+            })
+            .collect(),
+        tracer,
+    )
+}
+
 /// Sweep the iteration count (Figure 6 compares 1 vs 2).
 pub fn sweep_iterations(base: &CampaignConfig, iterations: &[u32]) -> Result<Sweep, CampaignError> {
     sweep_iterations_with_metrics(base, iterations, None)
@@ -150,6 +261,29 @@ pub fn sweep_iterations_with_metrics(
         parameter: "iterations".to_string(),
         points,
     })
+}
+
+/// [`sweep_iterations`], instrumented per point — see
+/// [`sweep_nd_percent_instrumented`].
+pub fn sweep_iterations_instrumented(
+    base: &CampaignConfig,
+    iterations: &[u32],
+    tracer: Option<&Tracer>,
+) -> Result<(Sweep, SweepMetrics), CampaignError> {
+    sweep_instrumented_impl(
+        "iterations",
+        iterations
+            .iter()
+            .map(|&it| {
+                (
+                    it as f64,
+                    format!("{it} iteration{}", if it == 1 { "" } else { "s" }),
+                    base.clone().iterations(it),
+                )
+            })
+            .collect(),
+        tracer,
+    )
 }
 
 #[cfg(test)]
@@ -207,6 +341,50 @@ mod tests {
         let mut dipped = sweep.clone();
         dipped.points.swap(0, 4); // put the max first: later points dip
         assert!(!dipped.is_monotone_within(0.05));
+    }
+
+    #[test]
+    fn instrumented_sweep_matches_plain_and_reports_per_point() {
+        let base = small_base(Pattern::MessageRace, 6, 5);
+        let percents = [0.0, 50.0, 100.0];
+        let plain = sweep_nd_percent(&base, &percents).unwrap();
+        let tracer = Tracer::with_capacity(1 << 16);
+        let (sweep, metrics) =
+            sweep_nd_percent_instrumented(&base, &percents, Some(&tracer)).unwrap();
+        // Instrumentation is bit-exact.
+        assert_eq!(sweep.mean_series(), plain.mean_series());
+        // One report per point, each covering one campaign.
+        assert_eq!(metrics.points.len(), 3);
+        for (pm, &p) in metrics.points.iter().zip(&percents) {
+            assert_eq!(pm.parameter, "nd_percent");
+            assert_eq!(pm.x, p);
+            assert_eq!(pm.report.counter("campaign/runs"), Some(5));
+            assert!(
+                pm.report.span("campaign/simulate").is_some(),
+                "{}",
+                pm.label
+            );
+        }
+        // The aggregate is the sum of the points.
+        assert_eq!(metrics.aggregate.counter("campaign/runs"), Some(15));
+        // The shared tracer saw every run exactly once, with unique ids
+        // offset per point.
+        let runs: Vec<u32> = tracer
+            .snapshot()
+            .sim_events_per_run()
+            .iter()
+            .map(|&(r, _)| r)
+            .collect();
+        assert_eq!(runs, (0..15).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sweep_metrics_round_trip_json() {
+        let base = small_base(Pattern::MessageRace, 4, 3);
+        let (_, metrics) = sweep_procs_instrumented(&base, &[4, 6], None).unwrap();
+        let json = serde_json::to_string_pretty(&metrics).unwrap();
+        let back: SweepMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
     }
 
     #[test]

@@ -122,6 +122,10 @@ impl EventGraph {
         trace: &Trace,
         metrics: Option<&anacin_obs::MetricsRegistry>,
     ) -> Self {
+        // Per-graph wall time (nests as `campaign/graph/build` inside the
+        // campaign runner), so traced timelines show each run's build cost
+        // rather than one opaque stage total.
+        let _span = metrics.map(|m| m.span("build"));
         let world = trace.world_size();
         let mut nodes = Vec::with_capacity(trace.total_events());
         let mut rank_base = Vec::with_capacity(world as usize);

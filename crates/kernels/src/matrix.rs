@@ -131,6 +131,11 @@ pub fn parallel_features_with_metrics(
                         if i >= graphs.len() {
                             break;
                         }
+                        // Per-graph span on the worker's own thread (path
+                        // "feature": worker threads have no span stack), so
+                        // traced timelines show each extraction, not just
+                        // the stage total.
+                        let _sp = metrics.map(|m| m.span("feature"));
                         local.push((i, kernel.features(&graphs[i])));
                     }
                     local

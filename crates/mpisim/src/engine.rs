@@ -31,7 +31,7 @@ use crate::replay::MatchRecord;
 use crate::stack::CallStackId;
 use crate::trace::{EventId, EventKind, Trace, TraceEvent, TraceMeta};
 use crate::types::{ChannelSeq, Rank, ReqSlot, SimTime, Tag};
-use anacin_obs::MetricsRegistry;
+use anacin_obs::{MetricsRegistry, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -259,6 +259,27 @@ pub fn simulate_with_metrics(
 ) -> Result<Trace, SimError> {
     let _span = metrics.map(|m| m.span("sim"));
     Engine::new(program, config, None).run(metrics)
+}
+
+/// [`simulate_with_metrics`], plus timeline tracing: when `tracer` is
+/// given as `(tracer, run)`, every event of the finished trace is emitted
+/// onto the tracer's ring as a simulated-time record tagged with `run`
+/// and the config seed (see [`Trace::record_into`]).
+///
+/// Emission happens strictly *after* the engine has finished — the
+/// simulation itself is byte-for-byte the same as [`simulate`], which is
+/// the observability invariant the differential tests assert.
+pub fn simulate_traced(
+    program: &Program,
+    config: &SimConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<(&Tracer, u32)>,
+) -> Result<Trace, SimError> {
+    let trace = simulate_with_metrics(program, config, metrics)?;
+    if let Some((tracer, run)) = tracer {
+        trace.record_into(tracer, run);
+    }
+    Ok(trace)
 }
 
 /// Run `program` under `config`, forcing every wildcard receive to match

@@ -63,7 +63,7 @@ pub mod types;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::engine::{simulate, simulate_replay, SimConfig, SimError};
+    pub use crate::engine::{simulate, simulate_replay, simulate_traced, SimConfig, SimError};
     pub use crate::network::{DelayDistribution, NetworkConfig};
     pub use crate::program::{BalanceError, Program, ProgramBuilder, RequestError};
     pub use crate::replay::MatchRecord;
@@ -73,6 +73,6 @@ pub mod prelude {
     pub use crate::types::{Rank, SimTime, SrcSpec, Tag, TagSpec};
 }
 
-pub use engine::{simulate, simulate_replay, SimConfig, SimError};
+pub use engine::{simulate, simulate_replay, simulate_traced, SimConfig, SimError};
 pub use program::{Program, ProgramBuilder};
 pub use trace::Trace;

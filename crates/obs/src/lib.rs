@@ -44,6 +44,13 @@
 
 #![warn(missing_docs)]
 
+pub mod tracer;
+
+pub use tracer::{
+    current_thread_id, message_id, MatchedSpan, SimEvent, SimEventKind, SpanMark, TraceRecord,
+    TraceSnapshot, Tracer, DEFAULT_CAPACITY,
+};
+
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -72,6 +79,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     spans: Mutex<BTreeMap<String, SpanAccum>>,
+    tracer: Mutex<Option<Tracer>>,
 }
 
 /// A shared, thread-safe metrics registry.
@@ -110,6 +118,10 @@ impl MetricsRegistry {
     /// is alive, spans started on the same thread nest under it
     /// (`parent/child` paths). Drop spans in reverse order of creation
     /// (the natural guard pattern) for paths to come out right.
+    ///
+    /// When a [`Tracer`] is attached ([`MetricsRegistry::attach_tracer`]),
+    /// the span also emits begin/end timeline marks, so the aggregate
+    /// statistics and the trace stay in lock-step.
     pub fn span(&self, name: &str) -> Span {
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -120,11 +132,33 @@ impl MetricsRegistry {
             stack.push(path.clone());
             path
         });
+        let tracer = self.tracer();
+        if let Some(t) = &tracer {
+            t.span_begin(&path);
+        }
         Span {
             registry: self.clone(),
             path,
+            tracer,
             start: Instant::now(),
         }
+    }
+
+    /// Attach a [`Tracer`]: from now on, every [`Span`] started from this
+    /// registry also emits begin/end marks onto the tracer's timeline.
+    /// Attaching is observability-only — span statistics and everything
+    /// they measure are unchanged.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        *self.inner.tracer.lock().expect("tracer slot poisoned") = Some(tracer.clone());
+    }
+
+    /// The currently attached tracer, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner
+            .tracer
+            .lock()
+            .expect("tracer slot poisoned")
+            .clone()
     }
 
     /// Record one observation of `elapsed_ns` under the span `path`
@@ -222,6 +256,7 @@ impl Counter {
 pub struct Span {
     registry: MetricsRegistry,
     path: String,
+    tracer: Option<Tracer>,
     start: Instant,
 }
 
@@ -244,6 +279,9 @@ impl Drop for Span {
         });
         let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.registry.record_span(&self.path, elapsed);
+        if let Some(t) = &self.tracer {
+            t.span_end(&self.path);
+        }
     }
 }
 
@@ -320,39 +358,66 @@ impl MetricsReport {
         self.spans.iter().find(|s| s.name.ends_with(suffix))
     }
 
+    /// Merge `other` into `self`: counters and span statistics add,
+    /// gauges take `other`'s value (last write wins), and names absent
+    /// from `self` are inserted. Means are recomputed from the merged
+    /// totals (zero-count spans mean 0). Used to aggregate per-point
+    /// sweep reports into one table.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        tracer::merge_reports(self, other);
+    }
+
     /// A human-readable summary table (what the CLI prints to stderr).
+    /// Column widths adapt to the longest instrument name, and the mean
+    /// is recomputed from `total_ns / count` (guarded for zero-count
+    /// spans) so deserialised reports render consistently.
     pub fn render_table(&self) -> String {
         fn ms(ns: u64) -> f64 {
             ns as f64 / 1e6
         }
+        let name_w = self
+            .spans
+            .iter()
+            .map(|s| s.name.len())
+            .chain(self.counters.iter().map(|c| c.name.len()))
+            .chain(self.gauges.iter().map(|g| g.name.len()))
+            .chain(["counter".len()])
+            .max()
+            .unwrap_or(0)
+            .max(4);
         let mut s = String::new();
         if !self.spans.is_empty() {
             let _ = writeln!(
                 s,
-                "{:<34} {:>8} {:>12} {:>12}",
+                "{:<name_w$} {:>8} {:>12} {:>12}",
                 "span", "count", "total(ms)", "mean(ms)"
             );
             for sp in &self.spans {
+                let mean_ns = if sp.count == 0 {
+                    0.0
+                } else {
+                    sp.total_ns as f64 / sp.count as f64
+                };
                 let _ = writeln!(
                     s,
-                    "{:<34} {:>8} {:>12.3} {:>12.3}",
+                    "{:<name_w$} {:>8} {:>12.3} {:>12.3}",
                     sp.name,
                     sp.count,
                     ms(sp.total_ns),
-                    sp.mean_ns / 1e6
+                    mean_ns / 1e6
                 );
             }
         }
         if !self.counters.is_empty() {
-            let _ = writeln!(s, "{:<34} {:>12}", "counter", "value");
+            let _ = writeln!(s, "{:<name_w$} {:>12}", "counter", "value");
             for c in &self.counters {
-                let _ = writeln!(s, "{:<34} {:>12}", c.name, c.value);
+                let _ = writeln!(s, "{:<name_w$} {:>12}", c.name, c.value);
             }
         }
         if !self.gauges.is_empty() {
-            let _ = writeln!(s, "{:<34} {:>12}", "gauge", "value");
+            let _ = writeln!(s, "{:<name_w$} {:>12}", "gauge", "value");
             for g in &self.gauges {
-                let _ = writeln!(s, "{:<34} {:>12.2}", g.name, g.value);
+                let _ = writeln!(s, "{:<name_w$} {:>12.2}", g.name, g.value);
             }
         }
         s
@@ -483,5 +548,89 @@ mod tests {
     #[test]
     fn empty_report_renders_empty() {
         assert!(MetricsRegistry::new().report().render_table().is_empty());
+    }
+
+    #[test]
+    fn render_table_pads_to_longest_name_and_guards_zero_count_mean() {
+        let long = "campaign/kernel/a-very-long-span-path/that-overflows-fixed-columns";
+        let rep = MetricsReport {
+            counters: vec![],
+            gauges: vec![],
+            spans: vec![
+                SpanSample {
+                    name: long.to_string(),
+                    count: 0,
+                    total_ns: 0,
+                    mean_ns: f64::NAN, // hostile deserialised input
+                    min_ns: 0,
+                    max_ns: 0,
+                },
+                SpanSample {
+                    name: "sim".to_string(),
+                    count: 2,
+                    total_ns: 4_000_000,
+                    mean_ns: 2_000_000.0,
+                    min_ns: 1,
+                    max_ns: 3,
+                },
+            ],
+        };
+        let t = rep.render_table();
+        assert!(!t.contains("NaN"), "zero-count mean must render as 0:\n{t}");
+        // Every row is padded to the same column positions: with equal-width
+        // numeric cells, all span rows (and the header) have equal length.
+        let lens: Vec<usize> = t.lines().map(str::len).collect();
+        assert_eq!(lens.len(), 3);
+        assert!(lens.iter().all(|l| *l == lens[0]), "{t}");
+    }
+
+    #[test]
+    fn attached_tracer_receives_balanced_span_marks() {
+        let m = MetricsRegistry::new();
+        let t = Tracer::with_capacity(64);
+        m.attach_tracer(&t);
+        {
+            let _outer = m.span("campaign");
+            let _inner = m.span("simulate");
+        }
+        let spans = t.snapshot().matched_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().any(|s| s.path == "campaign"));
+        assert!(spans.iter().any(|s| s.path == "campaign/simulate"));
+        // The registry's own statistics are unchanged by attaching.
+        assert_eq!(
+            m.report().span("campaign/simulate").map(|s| s.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn spans_without_tracer_emit_nothing() {
+        let m = MetricsRegistry::new();
+        let _ = m.span("quiet");
+        assert!(m.tracer().is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_span_stats() {
+        let a = MetricsRegistry::new();
+        a.counter("c").add(3);
+        a.record_span("s", 10);
+        let b = MetricsRegistry::new();
+        b.counter("c").add(4);
+        b.counter("only-b").add(1);
+        b.record_span("s", 30);
+        b.set_gauge("g", 2.0);
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        assert_eq!(merged.counter("c"), Some(7));
+        assert_eq!(merged.counter("only-b"), Some(1));
+        assert_eq!(merged.gauge("g"), Some(2.0));
+        let sp = merged.span("s").unwrap();
+        assert_eq!(
+            (sp.count, sp.total_ns, sp.min_ns, sp.max_ns),
+            (2, 40, 10, 30)
+        );
+        assert!((sp.mean_ns - 20.0).abs() < 1e-9);
     }
 }
