@@ -11,7 +11,9 @@
 use anacin_core::prelude::*;
 use anacin_miniapps::Pattern;
 use anacin_obs::{MetricsRegistry, Tracer};
+use anacin_store::ArtifactStore;
 use serde::Serialize;
+use std::time::Instant;
 
 /// What to measure: campaign shape and repetition count.
 #[derive(Debug, Clone)]
@@ -63,6 +65,15 @@ pub struct StageTimings {
     pub events: u64,
     /// Kernel dot products computed across all samples.
     pub dot_products: u64,
+    /// Mean wall-time of the campaign run against an empty artifact store
+    /// (every trace/graph/feature/Gram artifact is computed and published).
+    pub store_cold_ms: f64,
+    /// Mean wall-time of the identical campaign re-run against the now
+    /// populated store (every artifact served from the store).
+    pub store_warm_ms: f64,
+    /// `store_cold_ms / store_warm_ms` — how much faster a fully warm
+    /// incremental campaign is than a cold one.
+    pub store_speedup: f64,
 }
 
 /// The full baseline: one row per paper pattern.
@@ -83,7 +94,7 @@ impl BaselineReport {
     pub fn render_table(&self) -> String {
         let mut out = format!(
             "baseline: procs={} runs={} samples={}\n\
-             {:<16} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
+             {:<16} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}\n",
             self.procs,
             self.runs,
             self.samples,
@@ -93,18 +104,24 @@ impl BaselineReport {
             "features_ms",
             "gram_ms",
             "total_ms",
-            "trace_ovh%"
+            "trace_ovh%",
+            "cold_ms",
+            "warm_ms",
+            "store_x"
         );
         for r in &self.patterns {
             out.push_str(&format!(
-                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>10.3} {:>10.1}\n",
+                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>10.3} {:>10.1} {:>9.3} {:>9.3} {:>8.1}\n",
                 r.pattern,
                 r.simulate_ms,
                 r.graph_ms,
                 r.features_ms,
                 r.gram_ms,
                 r.total_ms,
-                r.trace_overhead_pct
+                r.trace_overhead_pct,
+                r.store_cold_ms,
+                r.store_warm_ms,
+                r.store_speedup
             ));
         }
         out
@@ -135,6 +152,36 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
                 .expect("traced baseline campaign");
         }
         let traced = traced_reg.report();
+        // Store pass: each sample runs the campaign twice against a fresh
+        // artifact store — once cold (everything computed and published)
+        // and once warm (everything served back) — so the report carries
+        // the speedup a resumed/incremental campaign gets from the store.
+        let mut cold_ns = 0u128;
+        let mut warm_ns = 0u128;
+        for s in 0..cfg.samples {
+            let dir = std::env::temp_dir().join(format!(
+                "anacin_bench_store_{}_{}_{}",
+                std::process::id(),
+                p,
+                s
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let store = ArtifactStore::open(&dir).expect("baseline store");
+            let t = Instant::now();
+            run_campaign_incremental(&ccfg, &store).expect("cold store campaign");
+            cold_ns += t.elapsed().as_nanos();
+            let t = Instant::now();
+            run_campaign_incremental(&ccfg, &store).expect("warm store campaign");
+            warm_ns += t.elapsed().as_nanos();
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        let store_cold_ms = cold_ns as f64 / cfg.samples.max(1) as f64 / 1e6;
+        let store_warm_ms = warm_ns as f64 / cfg.samples.max(1) as f64 / 1e6;
+        let store_speedup = if store_warm_ms > 0.0 {
+            store_cold_ms / store_warm_ms
+        } else {
+            0.0
+        };
         // Each campaign records one span per stage, so mean = total / count
         // (guarded: a span deserialised or merged with zero count means 0).
         let mean_ms = |rep: &anacin_obs::MetricsReport, path: &str| {
@@ -166,6 +213,9 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
             trace_overhead_pct,
             events: report.counter("sim/events").unwrap_or(0),
             dot_products: report.counter("kernel/dot_products").unwrap_or(0),
+            store_cold_ms,
+            store_warm_ms,
+            store_speedup,
         });
     }
     BaselineReport {
@@ -201,6 +251,9 @@ mod tests {
             assert!(row.events > 0);
             assert_eq!(row.dot_products, 2 * 3 / 2);
             assert!(row.trace_overhead_pct.is_finite(), "{}", row.pattern);
+            assert!(row.store_cold_ms > 0.0, "{}", row.pattern);
+            assert!(row.store_warm_ms > 0.0, "{}", row.pattern);
+            assert!(row.store_speedup > 0.0, "{}", row.pattern);
         }
         let table = r.render_table();
         assert!(
@@ -210,9 +263,13 @@ mod tests {
         assert!(table.contains("collectives"), "{table}");
         assert!(table.contains("stencil2d"), "{table}");
         assert!(table.contains("trace_ovh%"), "{table}");
+        assert!(table.contains("store_x"), "{table}");
         // Serialises cleanly for BENCH_baseline.json.
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"patterns\""));
         assert!(json.contains("\"trace_overhead_pct\""));
+        assert!(json.contains("\"store_cold_ms\""));
+        assert!(json.contains("\"store_warm_ms\""));
+        assert!(json.contains("\"store_speedup\""));
     }
 }

@@ -9,6 +9,7 @@ use anacin_kernels::prelude::*;
 use anacin_miniapps::{MiniAppConfig, Pattern};
 use anacin_mpisim::prelude::*;
 use anacin_obs::{MetricsRegistry, Tracer};
+use anacin_store::ArtifactStore;
 use anacin_viz::{ascii, svg};
 use std::io::Write as _;
 
@@ -27,6 +28,9 @@ COMMANDS
                                 Chrome Trace Event JSON (Perfetto) or
                                 folded flamegraph stacks (inferno)
               [--trace-capacity N]  trace ring size in events (default 262144)
+              [--store DIR]  run incrementally against a content-addressed
+                             artifact store: reuse every stored trace/graph/
+                             feature vector, publish what was recomputed
   graph       render one run's event graph
               --pattern … --procs N --nd P --seed S
               --format ascii|dot|graphml|json|svg  [--out FILE]
@@ -37,6 +41,11 @@ COMMANDS
               [--metrics FILE]  per-point metrics breakdown + merged
                                 aggregate (JSON {aggregate, points})
               [--trace FILE[.json|.folded]] [--trace-capacity N]
+              [--store DIR]  run every sweep point incrementally (see run)
+  store       artifact-store maintenance
+              anacin store stats  --store DIR   size/count per artifact kind
+              anacin store verify --store DIR   checksum every artifact
+              anacin store gc     --store DIR --budget BYTES  evict oldest
   bench       performance baselines
               anacin bench baseline [--procs N] [--runs N] [--samples N]
               [--out FILE]  (default BENCH_baseline.json)
@@ -68,8 +77,9 @@ COMMANDS
   timeline    per-rank Gantt view of one run
               --pattern … --procs N --nd P --seed S  [--out FILE.svg]
   trace       export one run's trace as JSON — … [--out FILE]
-              anacin trace view FILE  summarise a recorded Chrome trace
-              (per-rank event counts, busiest rank, longest gap, top spans)
+              anacin trace view FILE  summarise a recorded trace:
+              Chrome JSON (per-rank event counts, busiest rank, longest
+              gap, top spans) or .folded (top stacks by self-time)
   record      save a run's matching decisions — … --out FILE
               (feed back with: replay --record FILE)
   course      print the course module; --lesson 1..4 runs a use case
@@ -88,6 +98,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Some("run") | Some("campaign") => cmd_run(args),
+        Some("store") => cmd_store(args),
         Some("bench") => cmd_bench(args),
         Some("graph") => cmd_graph(args),
         Some("distance") => cmd_distance(args),
@@ -193,8 +204,30 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
         reg.attach_tracer(t);
     }
-    let result = run_campaign_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
-        .map_err(|e| e.to_string())?;
+    let result = match args.get("store") {
+        Some(dir) => {
+            let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+            if let Some(reg) = &reg {
+                store.attach_metrics(reg);
+            }
+            let r = run_campaign_incremental_observed(
+                &cfg,
+                &store,
+                reg.as_ref(),
+                tracer.as_ref().map(|(_, t)| t),
+                0,
+            )
+            .map_err(|e| e.to_string())?;
+            let a = store.activity();
+            eprintln!(
+                "store {dir}: {} hit(s), {} miss(es), {} publish(es)",
+                a.hits, a.misses, a.puts
+            );
+            r
+        }
+        None => run_campaign_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
+            .map_err(|e| e.to_string())?,
+    };
     if let Some((path, reg)) = &metrics {
         write_metrics(path, reg)?;
     }
@@ -294,6 +327,42 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let tracer = tracer_of(args)?;
     let tr = tracer.as_ref().map(|(_, t)| t);
     let kind = args.get_or("kind", "nd");
+    if let Some(dir) = args.get("store") {
+        // Store-backed sweeps use one registry for the whole sweep (the
+        // per-point instrumented path is not combined with --store).
+        if tracer.is_some() {
+            return Err("--store and --trace cannot be combined on sweep".to_string());
+        }
+        let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+        let reg = metrics_path.as_ref().map(|_| MetricsRegistry::new());
+        if let Some(r) = &reg {
+            store.attach_metrics(r);
+        }
+        let sweep = match kind.as_str() {
+            "nd" => {
+                let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+                sweep_nd_percent_stored(&base, &percents, &store, reg.as_ref())
+            }
+            "procs" => {
+                let p = base.app.procs;
+                sweep_procs_stored(&base, &[(p / 2).max(2), p, p * 2], &store, reg.as_ref())
+            }
+            "iterations" => sweep_iterations_stored(&base, &[1, 2, 4], &store, reg.as_ref()),
+            other => return Err(format!("unknown sweep kind '{other}'")),
+        }
+        .map_err(|e| e.to_string())?;
+        if let (Some(path), Some(r)) = (&metrics_path, &reg) {
+            write_metrics(path, r)?;
+        }
+        let a = store.activity();
+        eprintln!(
+            "store {dir}: {} hit(s), {} miss(es), {} publish(es)",
+            a.hits, a.misses, a.puts
+        );
+        print!("{}", sweep_table(&sweep));
+        println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
+        return Ok(());
+    }
     let instrumented = metrics_path.is_some() || tracer.is_some();
     let sweep = if instrumented {
         // Instrumented path: per-point registries so stage time can be
@@ -342,6 +411,63 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     print!("{}", sweep_table(&sweep));
     println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
     Ok(())
+}
+
+fn cmd_store(args: &Args) -> Result<(), String> {
+    let dir = args
+        .get("store")
+        .ok_or("store requires --store DIR")?
+        .to_string();
+    let store = ArtifactStore::open(&dir).map_err(|e| e.to_string())?;
+    match args.positional.first().map(String::as_str) {
+        Some("stats") => {
+            let s = store.stats().map_err(|e| e.to_string())?;
+            println!("store {dir}: {} artifact(s), {} byte(s)", s.files, s.bytes);
+            if !s.by_kind.is_empty() {
+                println!("{:>10} {:>8} {:>14}", "kind", "files", "bytes");
+                for (kind, files, bytes) in &s.by_kind {
+                    println!("{:>10} {:>8} {:>14}", kind.ext(), files, bytes);
+                }
+            }
+            Ok(())
+        }
+        Some("verify") => {
+            let r = store.verify().map_err(|e| e.to_string())?;
+            println!(
+                "store {dir}: {} ok, {} stale-schema, {} corrupt",
+                r.ok,
+                r.stale_schema,
+                r.corrupt.len()
+            );
+            for (path, reason) in &r.corrupt {
+                println!("  CORRUPT {}: {reason}", path.display());
+            }
+            if r.corrupt.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} corrupt artifact(s) found", r.corrupt.len()))
+            }
+        }
+        Some("gc") => {
+            let budget: u64 = args.get_parsed("budget", 256u64 << 20)?;
+            let r = store.gc(budget).map_err(|e| e.to_string())?;
+            println!(
+                "store {dir}: evicted {} file(s) / {} byte(s); kept {} file(s) / {} byte(s)\
+                 {}",
+                r.evicted_files,
+                r.evicted_bytes,
+                r.kept_files,
+                r.kept_bytes,
+                if r.pinned_skipped > 0 {
+                    format!(" ({} pinned artifact(s) skipped)", r.pinned_skipped)
+                } else {
+                    String::new()
+                }
+            );
+            Ok(())
+        }
+        _ => Err("store requires an action: 'stats', 'verify' or 'gc'".to_string()),
+    }
 }
 
 fn cmd_bench(args: &Args) -> Result<(), String> {
@@ -731,7 +857,11 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
             .get(1)
             .ok_or("trace view requires a FILE argument")?;
         let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let summary = trace_view_summary(&data).map_err(|e| format!("{path}: {e}"))?;
+        let summary = if path.ends_with(".folded") {
+            folded_view_summary(&data).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            trace_view_summary(&data).map_err(|e| format!("{path}: {e}"))?
+        };
         print!("{summary}");
         return Ok(());
     }
@@ -874,6 +1004,48 @@ fn trace_view_summary(data: &str) -> Result<String, String> {
                 total_us / 1e3
             ));
         }
+    }
+    Ok(out)
+}
+
+/// Render the ASCII summary of a folded-stacks file (`a;b;c <self-µs>`
+/// per line, the inferno / `flamegraph.pl` input format): the top stacks
+/// by self-time with proportional bars, plus the file's totals.
+fn folded_view_summary(data: &str) -> Result<String, String> {
+    let mut stacks: Vec<(&str, u64)> = Vec::new();
+    for (lineno, line) in data.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: not 'stack <value>'", lineno + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad self-time '{value}'", lineno + 1))?;
+        stacks.push((stack, value));
+    }
+    if stacks.is_empty() {
+        return Err("no stacks found (is this a folded flamegraph file?)".to_string());
+    }
+    let total: u64 = stacks.iter().map(|&(_, v)| v).sum();
+    stacks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let mut out = format!(
+        "{} stack(s), {:.3} ms total self-time\ntop stacks by self-time:\n",
+        stacks.len(),
+        total as f64 / 1e3
+    );
+    let max = stacks.first().map(|&(_, v)| v).unwrap_or(1).max(1);
+    for (stack, value) in stacks.iter().take(10) {
+        let bar_len = ((*value as usize * 32) / max as usize).max(1);
+        out.push_str(&format!(
+            "  {:<44} {:>12.3} ms {:>5.1}%  {}\n",
+            stack,
+            *value as f64 / 1e3,
+            *value as f64 * 100.0 / total as f64,
+            "#".repeat(bar_len)
+        ));
     }
     Ok(out)
 }

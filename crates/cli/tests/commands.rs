@@ -460,6 +460,87 @@ fn sweep_metrics_emit_per_point_breakdown() {
 }
 
 #[test]
+fn run_with_store_warms_and_store_subcommands_operate() {
+    let dir = std::env::temp_dir().join("anacin_cli_store_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.join("store");
+    let store = store.to_str().unwrap();
+    let campaign = &[
+        "run",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--runs",
+        "3",
+        "--store",
+        store,
+    ];
+    run(campaign).unwrap(); // cold: publishes every artifact
+    run(campaign).unwrap(); // warm: everything served from the store
+    run(&["store", "stats", "--store", store]).unwrap();
+    run(&["store", "verify", "--store", store]).unwrap();
+    run(&["store", "gc", "--store", store, "--budget", "1000000000"]).unwrap();
+    assert!(run(&["store", "stats"]).unwrap_err().contains("--store"));
+    assert!(run(&["store", "--store", store])
+        .unwrap_err()
+        .contains("action"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_with_store_runs_and_rejects_trace_combination() {
+    let dir = std::env::temp_dir().join("anacin_cli_store_sweep_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.join("store");
+    let store = store.to_str().unwrap();
+    run(&[
+        "sweep",
+        "--kind",
+        "iterations",
+        "--pattern",
+        "race",
+        "--procs",
+        "4",
+        "--runs",
+        "3",
+        "--store",
+        store,
+    ])
+    .unwrap();
+    assert!(run(&[
+        "sweep",
+        "--kind",
+        "iterations",
+        "--store",
+        store,
+        "--trace",
+        "/tmp/t.json",
+    ])
+    .unwrap_err()
+    .contains("cannot be combined"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_view_summarises_folded_files() {
+    let dir = std::env::temp_dir().join("anacin_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("view.folded");
+    std::fs::write(
+        &path,
+        "campaign;simulate 9000\ncampaign;graph 600\ncampaign 400\n",
+    )
+    .unwrap();
+    run(&["trace", "view", path.to_str().unwrap()]).unwrap();
+    std::fs::write(&path, "no-trailing-weight\n").unwrap();
+    assert!(run(&["trace", "view", path.to_str().unwrap()]).is_err());
+    std::fs::write(&path, "").unwrap();
+    assert!(run(&["trace", "view", path.to_str().unwrap()]).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn course_agenda_and_related_work() {
     run(&["course", "--agenda"]).unwrap();
     run(&["course", "--related-work"]).unwrap();

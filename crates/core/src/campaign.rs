@@ -8,10 +8,11 @@
 use crate::config::CampaignConfig;
 use anacin_event_graph::EventGraph;
 use anacin_kernels::matrix::{gram_matrix_with_metrics, KernelMatrix};
-use anacin_mpisim::engine::{simulate_traced, SimError};
+use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::stack::CallStackTable;
 use anacin_mpisim::trace::Trace;
+use anacin_mpisim::SimCounters;
 use anacin_obs::{MetricsRegistry, Tracer};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +115,12 @@ pub fn run_traces_observed(
             .map(|_| {
                 let next = &next;
                 s.spawn(move || {
+                    // One set of pre-resolved counter handles per worker:
+                    // the registry map locks once here, and every run's
+                    // counter flush is then a handful of lock-free atomic
+                    // adds — large campaigns and resumes no longer
+                    // serialise on the registry mutex.
+                    let counters = metrics.map(SimCounters::new);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -122,7 +129,10 @@ pub fn run_traces_observed(
                         }
                         let sc = config.sim_config(i as u32);
                         let t = tracer.map(|t| (t, run_base + i as u32));
-                        local.push((i, simulate_traced(program, &sc, metrics, t)));
+                        local.push((
+                            i,
+                            simulate_traced_counted(program, &sc, metrics, t, counters.as_ref()),
+                        ));
                     }
                     local
                 })

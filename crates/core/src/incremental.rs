@@ -1,0 +1,545 @@
+//! Incremental, resumable campaigns backed by the content-addressed
+//! artifact store (`anacin-store`).
+//!
+//! Every pipeline product — trace, event graph, per-run feature vector,
+//! Gram matrix, distance sample — is a pure function of `(pattern +
+//! configuration, seed, ND setting, kernel parameters)`, because the whole
+//! pipeline is bit-deterministic for a given key. That makes memoisation
+//! sound: [`run_campaign_incremental`] looks every artifact up by
+//! fingerprint first and only computes (then publishes) what is missing,
+//! so
+//!
+//! * an interrupted campaign resumes from whatever runs already reached
+//!   the store,
+//! * regenerating a figure reuses every stored run outright, and
+//! * sweeping kernels over the same runs reuses traces and graphs and
+//!   recomputes only the kernel-specific stages.
+//!
+//! The warm path is **bit-identical** to the cold path: codecs are
+//! canonical (one byte representation per value) and keys absorb every
+//! semantic input, so a warm result and a cold result are the same bytes.
+//! The differential tests in this module and in `tests/store.rs` assert
+//! exactly that.
+//!
+//! ## Keys
+//!
+//! Fingerprints absorb a domain-separation label, [`KEY_SCHEMA`], and the
+//! canonical JSON of each semantic field (the config types' serde
+//! encodings are stable). `threads` is deliberately excluded: thread
+//! count never changes results, so warm hits survive re-running on a
+//! different machine shape. Changing pipeline semantics requires bumping
+//! [`KEY_SCHEMA`], which cleanly invalidates every old key.
+
+use crate::campaign::{CampaignError, CampaignResult};
+use crate::config::CampaignConfig;
+use anacin_event_graph::EventGraph;
+use anacin_kernels::feature::SparseFeatures;
+use anacin_kernels::matrix::{gram_from_features_with_metrics, KernelMatrix};
+use anacin_mpisim::engine::{simulate_traced_counted, SimError};
+use anacin_mpisim::program::Program;
+use anacin_mpisim::trace::Trace;
+use anacin_mpisim::SimCounters;
+use anacin_obs::{MetricsRegistry, Tracer};
+use anacin_store::{
+    Artifact, ArtifactStore, DistanceSample, Fingerprint, FingerprintHasher, StoreError,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Version of the key material fed into fingerprints. Bump whenever the
+/// pipeline's semantics change in a way that should invalidate previously
+/// stored artifacts (every old key then misses cleanly).
+pub const KEY_SCHEMA: u32 = 1;
+
+/// An incremental campaign failed: either the pipeline itself, or the
+/// artifact store underneath it.
+#[derive(Debug)]
+pub enum IncrementalError {
+    /// A seeded run failed to simulate.
+    Campaign(CampaignError),
+    /// The store failed in a way that is not self-healable (I/O).
+    Store(StoreError),
+}
+
+impl fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncrementalError::Campaign(e) => write!(f, "campaign failed: {e}"),
+            IncrementalError::Store(e) => write!(f, "artifact store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IncrementalError::Campaign(e) => Some(e),
+            IncrementalError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<CampaignError> for IncrementalError {
+    fn from(e: CampaignError) -> Self {
+        IncrementalError::Campaign(e)
+    }
+}
+
+impl From<StoreError> for IncrementalError {
+    fn from(e: StoreError) -> Self {
+        IncrementalError::Store(e)
+    }
+}
+
+/// Absorb a labelled field as canonical JSON. The config types' serde
+/// encodings are deterministic (plain structs and enums, no maps), which
+/// makes the JSON a stable canonical form.
+fn absorb_json<T: serde::Serialize>(h: &mut FingerprintHasher, label: &str, value: &T) {
+    h.write_str(label);
+    h.write_str(&serde_json::to_string(value).expect("key material serialises"));
+}
+
+/// Absorb the per-run semantic inputs shared by every run-level key:
+/// everything that determines the bytes of a trace except the seed.
+fn absorb_setting(h: &mut FingerprintHasher, config: &CampaignConfig) {
+    h.write_u32(KEY_SCHEMA);
+    absorb_json(h, "pattern", &config.pattern);
+    absorb_json(h, "app", &config.app);
+    h.write_str("nd_percent");
+    h.write_f64(config.nd_percent);
+    h.write_str("nodes");
+    h.write_u32(config.nodes);
+    absorb_json(h, "delay", &config.delay);
+}
+
+/// The fingerprint naming run `run`'s trace and event graph (same key,
+/// distinct [`anacin_store::ArtifactKind`]s).
+pub fn run_fingerprint(config: &CampaignConfig, run: u32) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("anacin/run");
+    absorb_setting(&mut h, config);
+    h.write_str("seed");
+    h.write_u64(config.base_seed + run as u64);
+    h.finish()
+}
+
+/// The fingerprint naming run `run`'s feature vector under the campaign's
+/// kernel. Extends the run key with the kernel parameters, so sweeping
+/// kernels over the same runs stores one vector per (run, kernel).
+pub fn features_fingerprint(config: &CampaignConfig, run: u32) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("anacin/features");
+    absorb_setting(&mut h, config);
+    h.write_str("seed");
+    h.write_u64(config.base_seed + run as u64);
+    absorb_json(&mut h, "kernel", &config.kernel);
+    h.finish()
+}
+
+/// The fingerprint naming the campaign-level artifacts (Gram matrix and
+/// distance sample): the full run set plus the kernel.
+pub fn campaign_fingerprint(config: &CampaignConfig) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("anacin/campaign");
+    absorb_setting(&mut h, config);
+    h.write_str("runs");
+    h.write_u32(config.runs);
+    h.write_str("base_seed");
+    h.write_u64(config.base_seed);
+    absorb_json(&mut h, "kernel", &config.kernel);
+    h.finish()
+}
+
+/// Fetch an artifact, treating damage as a clean miss so the caller
+/// recomputes and overwrites it (self-healing). Only I/O errors propagate.
+fn get_or_heal<A: Artifact>(
+    store: &ArtifactStore,
+    fp: Fingerprint,
+) -> Result<Option<A>, StoreError> {
+    match store.get::<A>(fp) {
+        Ok(v) => Ok(v),
+        // A corrupt frame or an undecodable payload both mean the stored
+        // bytes are unusable; recomputing is always safe because `put`
+        // republishes atomically over the damaged file.
+        Err(StoreError::Corrupt { .. }) | Err(StoreError::Decode(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Simulate exactly the given runs (identified by run index) in parallel,
+/// with per-worker batched counters. Failure reports the lowest failing
+/// run index, matching [`crate::campaign::run_traces_observed`].
+fn simulate_runs(
+    program: &Program,
+    config: &CampaignConfig,
+    missing: &[u32],
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Vec<(u32, Trace)>, CampaignError> {
+    if missing.is_empty() {
+        // Fully warm: spawn no workers (and create no `sim/*` counters —
+        // a warm campaign performs no simulation work to report).
+        return Ok(Vec::new());
+    }
+    let threads = config.threads.max(1).min(missing.len());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Vec<(u32, Result<Trace, SimError>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let counters = metrics.map(SimCounters::new);
+                    let mut local = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= missing.len() {
+                            break;
+                        }
+                        let run = missing[slot];
+                        let sc = config.sim_config(run);
+                        local.push((
+                            run,
+                            simulate_traced_counted(program, &sc, metrics, None, counters.as_ref()),
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(missing.len());
+    let mut failure: Option<CampaignError> = None;
+    for chunk in results {
+        for (run, r) in chunk {
+            match r {
+                Ok(t) => out.push((run, t)),
+                Err(source) => {
+                    if failure.as_ref().is_none_or(|f| run < f.run) {
+                        failure = Some(CampaignError {
+                            run,
+                            seed: config.sim_config(run).seed,
+                            source,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(f) = failure {
+        return Err(f);
+    }
+    out.sort_by_key(|&(run, _)| run);
+    Ok(out)
+}
+
+/// Run a campaign against an artifact store: reuse every stored artifact,
+/// compute and publish the rest. See the module docs for the key scheme
+/// and the warm-path bit-identity guarantee.
+pub fn run_campaign_incremental(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+) -> Result<CampaignResult, IncrementalError> {
+    run_campaign_incremental_with_metrics(config, store, None)
+}
+
+/// [`run_campaign_incremental`] with the same per-stage instrumentation as
+/// [`crate::campaign::run_campaign_with_metrics`]. Counters reflect work
+/// actually performed: warm runs bump `store/hits` instead of `sim/*`.
+pub fn run_campaign_incremental_with_metrics(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<CampaignResult, IncrementalError> {
+    run_campaign_incremental_observed(config, store, metrics, None, 0)
+}
+
+/// [`run_campaign_incremental_with_metrics`], plus timeline tracing: with
+/// a [`Tracer`], every run's trace — warm or cold — is emitted tagged with
+/// `run_base + i`, so a resumed campaign produces the same complete
+/// timeline as an uninterrupted one.
+pub fn run_campaign_incremental_observed(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+) -> Result<CampaignResult, IncrementalError> {
+    let _campaign_span = metrics.map(|m| m.span("campaign"));
+    let program = config.pattern.build(&config.app);
+    let runs = config.runs;
+
+    // Stage 1: traces — load what the store has, simulate the rest.
+    let traces: Vec<Trace> = {
+        let _s = metrics.map(|m| m.span("simulate"));
+        let mut slots: Vec<Option<Trace>> = (0..runs).map(|_| None).collect();
+        let mut missing = Vec::new();
+        for run in 0..runs {
+            match get_or_heal::<Trace>(store, run_fingerprint(config, run))? {
+                Some(t) => slots[run as usize] = Some(t),
+                None => missing.push(run),
+            }
+        }
+        for (run, t) in simulate_runs(&program, config, &missing, metrics)? {
+            store.put(run_fingerprint(config, run), &t)?;
+            slots[run as usize] = Some(t);
+        }
+        slots
+            .into_iter()
+            .map(|t| t.expect("all slots filled"))
+            .collect()
+    };
+    if let Some(t) = tracer {
+        for (i, trace) in traces.iter().enumerate() {
+            trace.record_into(t, run_base + i as u32);
+        }
+    }
+
+    // Stage 2: event graphs.
+    let graphs: Vec<EventGraph> = {
+        let _s = metrics.map(|m| m.span("graph"));
+        let mut out = Vec::with_capacity(traces.len());
+        for (run, trace) in traces.iter().enumerate() {
+            let fp = run_fingerprint(config, run as u32);
+            let g = match get_or_heal::<EventGraph>(store, fp)? {
+                Some(g) => g,
+                None => {
+                    let g = EventGraph::from_trace_with_metrics(trace, metrics);
+                    store.put(fp, &g)?;
+                    g
+                }
+            };
+            out.push(g);
+        }
+        out
+    };
+
+    // Stage 3: per-run feature vectors, then the Gram matrix from them.
+    let kernel = config.kernel.instantiate();
+    let matrix = {
+        let _s = metrics.map(|m| m.span("kernel"));
+        let mut feats: Vec<Option<SparseFeatures>> = (0..runs).map(|_| None).collect();
+        let mut missing = Vec::new();
+        for run in 0..runs {
+            match get_or_heal::<SparseFeatures>(store, features_fingerprint(config, run))? {
+                Some(f) => feats[run as usize] = Some(f),
+                None => missing.push(run as usize),
+            }
+        }
+        if !missing.is_empty() {
+            let missing_graphs: Vec<EventGraph> =
+                missing.iter().map(|&i| graphs[i].clone()).collect();
+            let computed = anacin_kernels::matrix::parallel_features_with_metrics(
+                kernel.as_ref(),
+                &missing_graphs,
+                config.threads,
+                metrics,
+            );
+            for (&i, f) in missing.iter().zip(computed) {
+                store.put(features_fingerprint(config, i as u32), &f)?;
+                feats[i] = Some(f);
+            }
+        }
+        let feats: Vec<SparseFeatures> = feats
+            .into_iter()
+            .map(|f| f.expect("all slots filled"))
+            .collect();
+        let campaign_fp = campaign_fingerprint(config);
+        match get_or_heal::<KernelMatrix>(store, campaign_fp)? {
+            Some(m) => m,
+            None => {
+                let m = gram_from_features_with_metrics(
+                    &kernel.name(),
+                    &feats,
+                    config.threads,
+                    metrics,
+                );
+                store.put(campaign_fp, &m)?;
+                store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
+                m
+            }
+        }
+    };
+
+    if let Some(m) = metrics {
+        m.counter("campaign/runs").add(runs as u64);
+        let nan = anacin_stats::nan_count(&matrix.pairwise_distances());
+        m.counter("stats/nan_distances").add(nan as u64);
+    }
+    Ok(CampaignResult {
+        config: config.clone(),
+        program,
+        traces,
+        graphs,
+        matrix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use anacin_miniapps::Pattern;
+    use anacin_store::ArtifactKind;
+    use std::path::PathBuf;
+
+    fn tmp_store(tag: &str) -> (PathBuf, ArtifactStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "anacin-incremental-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig::new(Pattern::MessageRace, 6).runs(6)
+    }
+
+    #[test]
+    fn cold_run_matches_plain_campaign() {
+        let cfg = small_cfg();
+        let (dir, store) = tmp_store("cold");
+        let plain = run_campaign(&cfg).unwrap();
+        let cold = run_campaign_incremental(&cfg, &store).unwrap();
+        assert_eq!(cold.traces, plain.traces);
+        assert_eq!(cold.graphs, plain.graphs);
+        assert_eq!(cold.matrix, plain.matrix);
+        let a = store.activity();
+        assert_eq!(a.hits, 0);
+        assert!(a.puts > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn warm_run_is_bit_identical_and_simulates_nothing() {
+        let cfg = small_cfg();
+        let (dir, store) = tmp_store("warm");
+        let cold = run_campaign_incremental(&cfg, &store).unwrap();
+
+        let reg = MetricsRegistry::new();
+        store.attach_metrics(&reg);
+        let warm = run_campaign_incremental_with_metrics(&cfg, &store, Some(&reg)).unwrap();
+        assert_eq!(warm.traces, cold.traces);
+        assert_eq!(warm.graphs, cold.graphs);
+        assert_eq!(warm.matrix, cold.matrix);
+        // Byte-level identity of the serialised artifacts.
+        for run in 0..cfg.runs {
+            assert_eq!(
+                warm.traces[run as usize].to_wire(),
+                cold.traces[run as usize].to_wire()
+            );
+        }
+        let report = reg.report();
+        // Fully warm: every artifact was a hit, nothing was simulated.
+        assert_eq!(report.counter("sim/runs"), None);
+        // 6 traces + 6 graphs + 6 feature vectors + 1 matrix.
+        assert_eq!(report.counter("store/hits"), Some(19));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_result() {
+        let cfg = small_cfg();
+        // The "interrupted" campaign: only the first 3 runs reached the
+        // store (runs share per-seed keys, so a shorter campaign with the
+        // same base seed is exactly a prefix).
+        let (dir, store) = tmp_store("resume");
+        run_campaign_incremental(&cfg.clone().runs(3), &store).unwrap();
+        let before = store.activity();
+        let resumed = run_campaign_incremental(&cfg, &store).unwrap();
+        let after = store.activity();
+        // The 3 stored traces were reused, the other 3 simulated.
+        assert!(after.hits >= before.hits + 3);
+        let uninterrupted = run_campaign(&cfg).unwrap();
+        assert_eq!(resumed.traces, uninterrupted.traces);
+        assert_eq!(resumed.matrix, uninterrupted.matrix);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_self_heals() {
+        let cfg = small_cfg();
+        let (dir, store) = tmp_store("heal");
+        run_campaign_incremental(&cfg, &store).unwrap();
+        // Flip one byte in run 0's stored trace.
+        let path = store.path_of(run_fingerprint(&cfg, 0), ArtifactKind::Trace);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+
+        // Resume in a fresh process image (new store handle, cold LRU):
+        // the damage must be detected, recomputed, and republished.
+        let store = ArtifactStore::open(store.root()).unwrap();
+        let healed = run_campaign_incremental(&cfg, &store).unwrap();
+        let plain = run_campaign(&cfg).unwrap();
+        assert_eq!(healed.traces, plain.traces);
+        assert!(store.activity().corrupt >= 1);
+        // The damaged file was republished: a fresh read decodes cleanly.
+        assert!(ArtifactStore::open(store.root())
+            .unwrap()
+            .get::<Trace>(run_fingerprint(&cfg, 0))
+            .unwrap()
+            .is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn kernel_sweep_reuses_traces_and_graphs() {
+        let cfg = small_cfg();
+        let (dir, store) = tmp_store("ksweep");
+        run_campaign_incremental(&cfg, &store).unwrap();
+        let other = cfg
+            .clone()
+            .kernel(crate::config::KernelChoice::VertexHistogram {
+                policy: anacin_event_graph::LabelPolicy::EventType,
+            });
+        let before = store.activity();
+        run_campaign_incremental(&other, &store).unwrap();
+        let after = store.activity();
+        // Traces and graphs hit (2 per run); features and matrix recompute.
+        assert!(after.hits >= before.hits + 2 * cfg.runs as u64);
+        assert!(after.misses > before.misses);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fingerprints_separate_semantic_inputs_and_ignore_threads() {
+        let cfg = small_cfg();
+        let base = run_fingerprint(&cfg, 0);
+        assert_ne!(base, run_fingerprint(&cfg, 1));
+        assert_ne!(base, run_fingerprint(&cfg.clone().nd_percent(50.0), 0));
+        assert_ne!(base, run_fingerprint(&cfg.clone().base_seed(99), 0));
+        assert_ne!(base, run_fingerprint(&cfg.clone().nodes(4), 0));
+        // Same seed reached via different (base_seed, run) splits is the
+        // same trace, and gets the same key.
+        assert_eq!(
+            run_fingerprint(&cfg.clone().base_seed(5), 3),
+            run_fingerprint(&cfg.clone().base_seed(7), 1)
+        );
+        // Kernel affects features and campaign keys, not run keys.
+        let other_kernel = cfg
+            .clone()
+            .kernel(crate::config::KernelChoice::VertexHistogram {
+                policy: anacin_event_graph::LabelPolicy::EventType,
+            });
+        assert_eq!(base, run_fingerprint(&other_kernel, 0));
+        assert_ne!(
+            features_fingerprint(&cfg, 0),
+            features_fingerprint(&other_kernel, 0)
+        );
+        assert_ne!(
+            campaign_fingerprint(&cfg),
+            campaign_fingerprint(&other_kernel)
+        );
+        // Thread count is not key material.
+        let mut threaded = cfg.clone();
+        threaded.threads = 1;
+        assert_eq!(base, run_fingerprint(&threaded, 0));
+        assert_eq!(campaign_fingerprint(&cfg), campaign_fingerprint(&threaded));
+    }
+}

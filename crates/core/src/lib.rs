@@ -31,6 +31,7 @@
 pub mod ablation;
 pub mod campaign;
 pub mod config;
+pub mod incremental;
 pub mod measure;
 pub mod report;
 pub mod root_cause;
@@ -44,17 +45,24 @@ pub mod prelude {
         run_traces_observed, run_traces_with_metrics, CampaignError, CampaignResult,
     };
     pub use crate::config::{default_threads, CampaignConfig, KernelChoice};
+    pub use crate::incremental::{
+        campaign_fingerprint, features_fingerprint, run_campaign_incremental,
+        run_campaign_incremental_observed, run_campaign_incremental_with_metrics, run_fingerprint,
+        IncrementalError, KEY_SCHEMA,
+    };
     pub use crate::measure::NdMeasurement;
     pub use crate::report::{ranking_table, sweep_table, MeasurementReport};
     pub use crate::root_cause::{analyze, CallstackRanking, RootCauseConfig};
     pub use crate::sweep::{
-        sweep_iterations, sweep_iterations_instrumented, sweep_iterations_with_metrics,
-        sweep_nd_percent, sweep_nd_percent_instrumented, sweep_nd_percent_with_metrics,
-        sweep_procs, sweep_procs_instrumented, sweep_procs_with_metrics, Sweep, SweepMetrics,
-        SweepPoint, SweepPointMetrics,
+        sweep_iterations, sweep_iterations_instrumented, sweep_iterations_stored,
+        sweep_iterations_with_metrics, sweep_nd_percent, sweep_nd_percent_instrumented,
+        sweep_nd_percent_stored, sweep_nd_percent_with_metrics, sweep_procs,
+        sweep_procs_instrumented, sweep_procs_stored, sweep_procs_with_metrics, Sweep,
+        SweepMetrics, SweepPoint, SweepPointMetrics,
     };
 }
 
 pub use campaign::{run_campaign, run_campaign_with_metrics, CampaignError, CampaignResult};
 pub use config::{CampaignConfig, KernelChoice};
+pub use incremental::{run_campaign_incremental, IncrementalError};
 pub use measure::NdMeasurement;

@@ -6,9 +6,11 @@
 
 use crate::campaign::{run_campaign_observed, run_campaign_with_metrics, CampaignError};
 use crate::config::CampaignConfig;
+use crate::incremental::{run_campaign_incremental_with_metrics, IncrementalError};
 use crate::measure::NdMeasurement;
 use anacin_obs::{MetricsRegistry, MetricsReport, Tracer};
 use anacin_stats::prelude::spearman;
+use anacin_store::ArtifactStore;
 use serde::{Deserialize, Serialize};
 
 /// One sweep point: the swept value and its measurement.
@@ -184,6 +186,31 @@ pub fn sweep_nd_percent_instrumented(
     )
 }
 
+/// [`sweep_nd_percent`] against an artifact store: every campaign in the
+/// sweep runs incrementally ([`run_campaign_incremental_with_metrics`]),
+/// so re-running a sweep — or regenerating a figure from it — reuses every
+/// stored run. Measurements are bit-identical to the plain sweep.
+pub fn sweep_nd_percent_stored(
+    base: &CampaignConfig,
+    percents: &[f64],
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Sweep, IncrementalError> {
+    let mut points = Vec::with_capacity(percents.len());
+    for &p in percents {
+        let cfg = base.clone().nd_percent(p);
+        let r = run_campaign_incremental_with_metrics(&cfg, store, metrics)?;
+        points.push(SweepPoint {
+            x: p,
+            measurement: NdMeasurement::from_campaign(format!("nd={p}%"), &r),
+        });
+    }
+    Ok(Sweep {
+        parameter: "nd_percent".to_string(),
+        points,
+    })
+}
+
 /// Sweep the process count (Figure 5 compares 16 vs 32).
 pub fn sweep_procs(base: &CampaignConfig, procs: &[u32]) -> Result<Sweep, CampaignError> {
     sweep_procs_with_metrics(base, procs, None)
@@ -233,6 +260,30 @@ pub fn sweep_procs_instrumented(
     )
 }
 
+/// [`sweep_procs`] against an artifact store — see
+/// [`sweep_nd_percent_stored`].
+pub fn sweep_procs_stored(
+    base: &CampaignConfig,
+    procs: &[u32],
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Sweep, IncrementalError> {
+    let mut points = Vec::with_capacity(procs.len());
+    for &n in procs {
+        let mut cfg = base.clone();
+        cfg.app.procs = n;
+        let r = run_campaign_incremental_with_metrics(&cfg, store, metrics)?;
+        points.push(SweepPoint {
+            x: n as f64,
+            measurement: NdMeasurement::from_campaign(format!("{n} procs"), &r),
+        });
+    }
+    Ok(Sweep {
+        parameter: "procs".to_string(),
+        points,
+    })
+}
+
 /// Sweep the iteration count (Figure 6 compares 1 vs 2).
 pub fn sweep_iterations(base: &CampaignConfig, iterations: &[u32]) -> Result<Sweep, CampaignError> {
     sweep_iterations_with_metrics(base, iterations, None)
@@ -249,6 +300,32 @@ pub fn sweep_iterations_with_metrics(
     for &it in iterations {
         let cfg = base.clone().iterations(it);
         let r = run_campaign_with_metrics(&cfg, metrics)?;
+        points.push(SweepPoint {
+            x: it as f64,
+            measurement: NdMeasurement::from_campaign(
+                format!("{it} iteration{}", if it == 1 { "" } else { "s" }),
+                &r,
+            ),
+        });
+    }
+    Ok(Sweep {
+        parameter: "iterations".to_string(),
+        points,
+    })
+}
+
+/// [`sweep_iterations`] against an artifact store — see
+/// [`sweep_nd_percent_stored`].
+pub fn sweep_iterations_stored(
+    base: &CampaignConfig,
+    iterations: &[u32],
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Sweep, IncrementalError> {
+    let mut points = Vec::with_capacity(iterations.len());
+    for &it in iterations {
+        let cfg = base.clone().iterations(it);
+        let r = run_campaign_incremental_with_metrics(&cfg, store, metrics)?;
         points.push(SweepPoint {
             x: it as f64,
             measurement: NdMeasurement::from_campaign(
@@ -385,6 +462,25 @@ mod tests {
         let json = serde_json::to_string_pretty(&metrics).unwrap();
         let back: SweepMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn stored_sweep_matches_plain_and_rerun_is_warm() {
+        let dir =
+            std::env::temp_dir().join(format!("anacin-sweep-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = anacin_store::ArtifactStore::open(&dir).unwrap();
+        let base = small_base(Pattern::MessageRace, 6, 5);
+        let percents = [0.0, 100.0];
+        let plain = sweep_nd_percent(&base, &percents).unwrap();
+        let cold = sweep_nd_percent_stored(&base, &percents, &store, None).unwrap();
+        assert_eq!(cold.mean_series(), plain.mean_series());
+        let puts_after_cold = store.activity().puts;
+        let warm = sweep_nd_percent_stored(&base, &percents, &store, None).unwrap();
+        assert_eq!(warm.mean_series(), plain.mean_series());
+        // The warm sweep published nothing new.
+        assert_eq!(store.activity().puts, puts_after_cold);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Store codec for [`EventGraph`]: the `anacin_store::Artifact`
+//! implementation.
+//!
+//! Edges are written in the graph's canonical construction order — every
+//! program edge (by source node, ascending), then every message edge (in
+//! trace order, i.e. by receive node, ascending) — and decoding replays
+//! that list through the same CSR builder the constructor uses, so a
+//! decoded graph is field-for-field identical to the one built from the
+//! trace, per-node adjacency order included.
+
+use crate::graph::{build_csr_pair, EdgeKind, EventGraph, Node, NodeKind};
+use anacin_mpisim::stack::CallStackId;
+use anacin_mpisim::types::{Rank, SimTime};
+use anacin_store::{Artifact, ArtifactKind, ByteReader, ByteWriter, WireError};
+
+const TAG_INIT: u8 = 0;
+const TAG_FINALIZE: u8 = 1;
+const TAG_SEND: u8 = 2;
+const TAG_RECV: u8 = 3;
+
+fn encode_node(n: &Node, w: &mut ByteWriter) {
+    w.u32(n.rank.0);
+    w.u32(n.rank_idx);
+    match n.kind {
+        NodeKind::Init => w.u8(TAG_INIT),
+        NodeKind::Finalize => w.u8(TAG_FINALIZE),
+        NodeKind::Send { dst } => {
+            w.u8(TAG_SEND);
+            w.u32(dst.0);
+        }
+        NodeKind::Recv { src, wildcard } => {
+            w.u8(TAG_RECV);
+            w.u32(src.0);
+            w.bool(wildcard);
+        }
+    }
+    w.u64(n.time.0);
+    w.u32(n.stack.0);
+}
+
+fn decode_node(r: &mut ByteReader<'_>) -> Result<Node, WireError> {
+    let rank = Rank(r.u32()?);
+    let rank_idx = r.u32()?;
+    let kind = match r.u8()? {
+        TAG_INIT => NodeKind::Init,
+        TAG_FINALIZE => NodeKind::Finalize,
+        TAG_SEND => NodeKind::Send {
+            dst: Rank(r.u32()?),
+        },
+        TAG_RECV => NodeKind::Recv {
+            src: Rank(r.u32()?),
+            wildcard: r.bool()?,
+        },
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(Node {
+        rank,
+        rank_idx,
+        kind,
+        time: SimTime(r.u64()?),
+        stack: CallStackId(r.u32()?),
+    })
+}
+
+impl Artifact for EventGraph {
+    const KIND: ArtifactKind = ArtifactKind::Graph;
+
+    fn encode_into(&self, w: &mut ByteWriter) {
+        w.u32(self.world_size);
+        w.seq_len(self.nodes.len());
+        for n in &self.nodes {
+            encode_node(n, w);
+        }
+        w.seq_len(self.rank_base.len());
+        for &b in &self.rank_base {
+            w.u32(b);
+        }
+        // Canonical edge order (see module docs): program edges by source
+        // node, then message edges by receive node — exactly the order the
+        // graph builder emitted them in.
+        let program: Vec<(u32, u32)> = self
+            .node_ids()
+            .flat_map(|id| {
+                self.out_edges(id)
+                    .iter()
+                    .filter(|(_, k)| *k == EdgeKind::Program)
+                    .map(move |&(to, _)| (id.0, to.0))
+            })
+            .collect();
+        let message: Vec<(u32, u32)> = self
+            .node_ids()
+            .flat_map(|id| {
+                self.in_edges(id)
+                    .iter()
+                    .filter(|(_, k)| *k == EdgeKind::Message)
+                    .map(move |&(from, _)| (from.0, id.0))
+            })
+            .collect();
+        w.seq_len(program.len());
+        for (f, t) in program {
+            w.u32(f);
+            w.u32(t);
+        }
+        w.seq_len(message.len());
+        for (f, t) in message {
+            w.u32(f);
+            w.u32(t);
+        }
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let world_size = r.u32()?;
+        let n_nodes = r.seq_len(17)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(decode_node(r)?);
+        }
+        let n_base = r.seq_len(4)?;
+        let mut rank_base = Vec::with_capacity(n_base);
+        for _ in 0..n_base {
+            rank_base.push(r.u32()?);
+        }
+        let n_program = r.seq_len(8)?;
+        let mut edges = Vec::with_capacity(n_program);
+        for _ in 0..n_program {
+            edges.push((r.u32()?, r.u32()?, EdgeKind::Program));
+        }
+        let n_message = r.seq_len(8)?;
+        edges.reserve(n_message);
+        for _ in 0..n_message {
+            edges.push((r.u32()?, r.u32()?, EdgeKind::Message));
+        }
+        // Reject out-of-range endpoints before the CSR builder indexes
+        // degree arrays with them.
+        for &(f, t, _) in &edges {
+            if f as usize >= n_nodes || t as usize >= n_nodes {
+                return Err(WireError::BadLength(f.max(t) as u64));
+            }
+        }
+        let (out, incoming) = build_csr_pair(n_nodes, &edges);
+        Ok(EventGraph {
+            world_size,
+            nodes,
+            rank_base,
+            out,
+            incoming,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anacin_mpisim::prelude::*;
+
+    fn graph(seed: u64) -> EventGraph {
+        let n = 4u32;
+        let mut b = ProgramBuilder::new(n);
+        for r in 0..n {
+            let mut rb = b.rank(Rank(r));
+            let mut reqs = Vec::new();
+            for _ in 0..n - 1 {
+                reqs.push(rb.irecv_any(TagSpec::Any));
+            }
+            for peer in 0..n {
+                if peer != r {
+                    reqs.push(rb.isend(Rank(peer), Tag(0), 1));
+                }
+            }
+            rb.waitall(reqs);
+        }
+        let t = simulate(&b.build(), &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+        EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn graph_round_trips_bit_exactly() {
+        for seed in 0..5 {
+            let g = graph(seed);
+            let bytes = g.to_wire();
+            let back = EventGraph::from_wire(&bytes).unwrap();
+            assert_eq!(back, g, "seed {seed}");
+            assert_eq!(back.to_wire(), bytes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adjacency_order_survives_round_trip() {
+        let g = graph(2);
+        let back = EventGraph::from_wire(&g.to_wire()).unwrap();
+        for id in g.node_ids() {
+            assert_eq!(g.out_edges(id), back.out_edges(id));
+            assert_eq!(g.in_edges(id), back.in_edges(id));
+        }
+    }
+
+    #[test]
+    fn truncated_graph_fails_to_decode() {
+        let bytes = graph(0).to_wire();
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(EventGraph::from_wire(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let g = graph(0);
+        let mut bytes = g.to_wire();
+        // The last 8 bytes are the final message edge's (from, to); point
+        // `to` far out of range.
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(EventGraph::from_wire(&bytes).is_err());
+    }
+}

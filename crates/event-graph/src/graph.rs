@@ -92,15 +92,74 @@ pub enum EdgeKind {
     Message,
 }
 
+/// One adjacency direction in CSR (compressed sparse row) form:
+/// `targets[offsets[i]..offsets[i+1]]` are node `i`'s edges, in insertion
+/// order. Two flat allocations total, where the previous
+/// `Vec<Vec<(NodeId, EdgeKind)>>` layout paid one per node — and the flat
+/// buffers are what the artifact store serializes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct CsrEdges {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<(NodeId, EdgeKind)>,
+}
+
+impl CsrEdges {
+    #[inline]
+    fn row(&self, i: usize) -> &[(NodeId, EdgeKind)] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Build the out/in CSR pair from an edge list. Per-node edge order is the
+/// edge-list order restricted to that node — callers control ordering by
+/// ordering the list (the graph builder emits all program edges, then
+/// message edges in trace order, matching the historical nested-`Vec`
+/// layout exactly).
+pub(crate) fn build_csr_pair(n: usize, edges: &[(u32, u32, EdgeKind)]) -> (CsrEdges, CsrEdges) {
+    let mut out_offsets = vec![0u32; n + 1];
+    let mut in_offsets = vec![0u32; n + 1];
+    for &(f, t, _) in edges {
+        out_offsets[f as usize + 1] += 1;
+        in_offsets[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        out_offsets[i + 1] += out_offsets[i];
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut out_cursor: Vec<u32> = out_offsets[..n].to_vec();
+    let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+    let filler = (NodeId(0), EdgeKind::Program);
+    let mut out_targets = vec![filler; edges.len()];
+    let mut in_targets = vec![filler; edges.len()];
+    for &(f, t, k) in edges {
+        let oc = &mut out_cursor[f as usize];
+        out_targets[*oc as usize] = (NodeId(t), k);
+        *oc += 1;
+        let ic = &mut in_cursor[t as usize];
+        in_targets[*ic as usize] = (NodeId(f), k);
+        *ic += 1;
+    }
+    (
+        CsrEdges {
+            offsets: out_offsets,
+            targets: out_targets,
+        },
+        CsrEdges {
+            offsets: in_offsets,
+            targets: in_targets,
+        },
+    )
+}
+
 /// The event graph of one execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventGraph {
-    world_size: u32,
-    nodes: Vec<Node>,
+    pub(crate) world_size: u32,
+    pub(crate) nodes: Vec<Node>,
     /// `rank_base[r]` is the NodeId offset of rank r's first event.
-    rank_base: Vec<u32>,
-    out_edges: Vec<Vec<(NodeId, EdgeKind)>>,
-    in_edges: Vec<Vec<(NodeId, EdgeKind)>>,
+    pub(crate) rank_base: Vec<u32>,
+    pub(crate) out: CsrEdges,
+    pub(crate) incoming: CsrEdges,
 }
 
 impl EventGraph {
@@ -148,35 +207,31 @@ impl EventGraph {
             }
         }
         let n = nodes.len();
-        let mut out_edges = vec![Vec::new(); n];
-        let mut in_edges = vec![Vec::new(); n];
         let id_of = |eid: EventId| NodeId(rank_base[eid.rank.index()] + eid.idx);
-        // Program-order edges.
+        // Edge list in the canonical order: every program edge first (rank
+        // by rank), then message edges in trace-iteration order. Per-node
+        // adjacency order is inherited from this list, so it is identical
+        // to the historical nested-Vec layout.
+        let mut edges: Vec<(u32, u32, EdgeKind)> = Vec::with_capacity(n);
         for r in 0..world {
             let base = rank_base[r as usize];
             let len = trace.rank_events(Rank(r)).len() as u32;
             for i in 0..len.saturating_sub(1) {
-                let a = NodeId(base + i);
-                let b = NodeId(base + i + 1);
-                out_edges[a.index()].push((b, EdgeKind::Program));
-                in_edges[b.index()].push((a, EdgeKind::Program));
+                edges.push((base + i, base + i + 1, EdgeKind::Program));
             }
         }
-        // Message edges.
         for (id, ev) in trace.iter() {
             if let EventKind::Recv { send_event, .. } = ev.kind {
-                let s = id_of(send_event);
-                let d = id_of(id);
-                out_edges[s.index()].push((d, EdgeKind::Message));
-                in_edges[d.index()].push((s, EdgeKind::Message));
+                edges.push((id_of(send_event).0, id_of(id).0, EdgeKind::Message));
             }
         }
+        let (out, incoming) = build_csr_pair(n, &edges);
         let graph = EventGraph {
             world_size: world,
             nodes,
             rank_base,
-            out_edges,
-            in_edges,
+            out,
+            incoming,
         };
         if let Some(m) = metrics {
             m.counter("graph/nodes").add(graph.node_count() as u64);
@@ -199,14 +254,14 @@ impl EventGraph {
 
     /// Number of edges (program + message).
     pub fn edge_count(&self) -> usize {
-        self.out_edges.iter().map(Vec::len).sum()
+        self.out.targets.len()
     }
 
     /// Number of message edges.
     pub fn message_edge_count(&self) -> usize {
-        self.out_edges
+        self.out
+            .targets
             .iter()
-            .flatten()
             .filter(|(_, k)| *k == EdgeKind::Message)
             .count()
     }
@@ -231,18 +286,20 @@ impl EventGraph {
 
     /// Outgoing edges of a node.
     pub fn out_edges(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
-        &self.out_edges[id.index()]
+        self.out.row(id.index())
     }
 
     /// Incoming edges of a node.
     pub fn in_edges(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
-        &self.in_edges[id.index()]
+        self.incoming.row(id.index())
     }
 
     /// All edges as `(from, to, kind)` triples.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeKind)> + '_ {
-        self.out_edges.iter().enumerate().flat_map(|(i, es)| {
-            es.iter()
+        (0..self.nodes.len()).flat_map(move |i| {
+            self.out
+                .row(i)
+                .iter()
                 .map(move |&(to, kind)| (NodeId(i as u32), to, kind))
         })
     }
@@ -368,6 +425,76 @@ mod tests {
         out_pairs.sort();
         in_pairs.sort();
         assert_eq!(out_pairs, in_pairs);
+    }
+
+    /// One adjacency row per node in the pre-CSR layout.
+    type NaiveAdjacency = Vec<Vec<(NodeId, EdgeKind)>>;
+
+    /// The pre-CSR adjacency layout, rebuilt independently: one `Vec` per
+    /// node, program edges pushed first (rank by rank), then message edges
+    /// in trace-iteration order.
+    fn naive_layout(t: &Trace) -> (NaiveAdjacency, NaiveAdjacency) {
+        let world = t.world_size();
+        let mut rank_base = Vec::new();
+        let mut n = 0u32;
+        for r in 0..world {
+            rank_base.push(n);
+            n += t.rank_events(Rank(r)).len() as u32;
+        }
+        let id_of =
+            |eid: anacin_mpisim::trace::EventId| NodeId(rank_base[eid.rank.index()] + eid.idx);
+        let mut out = vec![Vec::new(); n as usize];
+        let mut inc = vec![Vec::new(); n as usize];
+        for r in 0..world {
+            let base = rank_base[r as usize];
+            let len = t.rank_events(Rank(r)).len() as u32;
+            for i in 0..len.saturating_sub(1) {
+                out[(base + i) as usize].push((NodeId(base + i + 1), EdgeKind::Program));
+                inc[(base + i + 1) as usize].push((NodeId(base + i), EdgeKind::Program));
+            }
+        }
+        for (id, ev) in t.iter() {
+            if let anacin_mpisim::trace::EventKind::Recv { send_event, .. } = ev.kind {
+                let s = id_of(send_event);
+                let d = id_of(id);
+                out[s.index()].push((d, EdgeKind::Message));
+                inc[d.index()].push((s, EdgeKind::Message));
+            }
+        }
+        (out, inc)
+    }
+
+    #[test]
+    fn csr_layout_equals_naive_layout_including_order() {
+        // All-to-all under heavy ND stresses mixed program/message
+        // adjacency; the CSR rows must match the old nested-Vec layout
+        // element for element, order included.
+        let n = 4u32;
+        let mut b = ProgramBuilder::new(n);
+        for r in 0..n {
+            let mut rb = b.rank(Rank(r));
+            let mut reqs = Vec::new();
+            for _ in 0..n - 1 {
+                reqs.push(rb.irecv_any(TagSpec::Any));
+            }
+            for peer in 0..n {
+                if peer != r {
+                    reqs.push(rb.isend(Rank(peer), Tag(0), 1));
+                }
+            }
+            rb.waitall(reqs);
+        }
+        let p = b.build();
+        for seed in 0..5 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            let g = EventGraph::from_trace(&t);
+            let (out, inc) = naive_layout(&t);
+            assert_eq!(g.node_count(), out.len());
+            for id in g.node_ids() {
+                assert_eq!(g.out_edges(id), &out[id.index()][..], "out {id:?}");
+                assert_eq!(g.in_edges(id), &inc[id.index()][..], "in {id:?}");
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod artifact;
 pub mod diff;
 pub mod explain;
 pub mod export;

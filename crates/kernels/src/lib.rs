@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod distance;
 pub mod embed;
 pub mod feature;
@@ -57,8 +58,8 @@ pub mod prelude {
     pub use crate::histogram::{EdgeHistogramKernel, VertexHistogramKernel};
     pub use crate::kernel::GraphKernel;
     pub use crate::matrix::{
-        gram_matrix, gram_matrix_with_metrics, parallel_features, parallel_features_with_metrics,
-        KernelMatrix,
+        gram_from_features_with_metrics, gram_matrix, gram_matrix_with_metrics, parallel_features,
+        parallel_features_with_metrics, KernelMatrix,
     };
     pub use crate::shortest_path::ShortestPathKernel;
     pub use crate::wl::WlKernel;

@@ -15,7 +15,7 @@ use anacin_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A symmetric kernel (Gram) matrix over a sample of graphs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelMatrix {
     n: usize,
     values: Vec<f64>,
@@ -23,6 +23,23 @@ pub struct KernelMatrix {
 }
 
 impl KernelMatrix {
+    /// Reassemble a matrix from its parts (the store codec's decode path).
+    ///
+    /// `values` must be a row-major `n × n` buffer.
+    pub fn from_parts(n: usize, values: Vec<f64>, kernel_name: String) -> Self {
+        assert_eq!(values.len(), n * n, "values must be n*n");
+        Self {
+            n,
+            values,
+            kernel_name,
+        }
+    }
+
+    /// The raw row-major `n × n` value buffer.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Number of graphs in the sample.
     pub fn len(&self) -> usize {
         self.n
@@ -176,8 +193,21 @@ pub fn gram_matrix_with_metrics(
     threads: usize,
     metrics: Option<&MetricsRegistry>,
 ) -> KernelMatrix {
-    let n = graphs.len();
     let feats = parallel_features_with_metrics(kernel, graphs, threads, metrics);
+    gram_from_features_with_metrics(&kernel.name(), &feats, threads, metrics)
+}
+
+/// Compute the Gram matrix directly from precomputed feature vectors —
+/// the warm path when per-run features come out of the artifact store
+/// instead of being re-extracted from graphs. Bit-identical to
+/// [`gram_matrix_with_metrics`] given the same features.
+pub fn gram_from_features_with_metrics(
+    kernel_name: &str,
+    feats: &[SparseFeatures],
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
+    let n = feats.len();
     // Pairwise dot products for the upper triangle. Row i costs n − i dot
     // products, so handing out whole rows front-to-back leaves the worker
     // that drew row 0 doing ~n work while the one that drew row n−1 does 1.
@@ -198,7 +228,6 @@ pub fn gram_matrix_with_metrics(
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next_block = &next_block;
-                let feats = &feats;
                 s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -237,7 +266,7 @@ pub fn gram_matrix_with_metrics(
     KernelMatrix {
         n,
         values,
-        kernel_name: kernel.name(),
+        kernel_name: kernel_name.to_string(),
     }
 }
 

@@ -23,6 +23,7 @@
 //! *before* the sends of the same exchange phase in program order, which
 //! combined with message edges creates cycles in all-to-all patterns.
 
+use crate::counters::SimCounters;
 use crate::matching::{InFlightMsg, MatchEngine, PostKind, PostedRecv};
 use crate::network::{NetworkConfig, NetworkModel};
 use crate::ops::Op;
@@ -257,8 +258,23 @@ pub fn simulate_with_metrics(
     config: &SimConfig,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Trace, SimError> {
+    let counters = metrics.map(SimCounters::new);
+    simulate_counted(program, config, metrics, counters.as_ref())
+}
+
+/// [`simulate_with_metrics`] with pre-resolved counter handles: `metrics`
+/// provides only the per-run `sim` span; the six execution counters flush
+/// through `counters` with lock-free atomic adds. Worker loops that
+/// simulate many runs should create one [`SimCounters`] per worker and
+/// call this, instead of paying six registry-map locks per run.
+pub fn simulate_counted(
+    program: &Program,
+    config: &SimConfig,
+    metrics: Option<&MetricsRegistry>,
+    counters: Option<&SimCounters>,
+) -> Result<Trace, SimError> {
     let _span = metrics.map(|m| m.span("sim"));
-    Engine::new(program, config, None).run(metrics)
+    Engine::new(program, config, None).run(counters)
 }
 
 /// [`simulate_with_metrics`], plus timeline tracing: when `tracer` is
@@ -275,7 +291,22 @@ pub fn simulate_traced(
     metrics: Option<&MetricsRegistry>,
     tracer: Option<(&Tracer, u32)>,
 ) -> Result<Trace, SimError> {
-    let trace = simulate_with_metrics(program, config, metrics)?;
+    let counters = metrics.map(SimCounters::new);
+    simulate_traced_counted(program, config, metrics, tracer, counters.as_ref())
+}
+
+/// [`simulate_traced`] with pre-resolved counter handles (see
+/// [`simulate_counted`]): the campaign worker-pool entry point. One
+/// [`SimCounters`] per worker batches counter flushes into lock-free
+/// atomic adds instead of serialising every run on the registry mutex.
+pub fn simulate_traced_counted(
+    program: &Program,
+    config: &SimConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<(&Tracer, u32)>,
+    counters: Option<&SimCounters>,
+) -> Result<Trace, SimError> {
+    let trace = simulate_counted(program, config, metrics, counters)?;
     if let Some((tracer, run)) = tracer {
         trace.record_into(tracer, run);
     }
@@ -325,7 +356,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self, metrics: Option<&MetricsRegistry>) -> Result<Trace, SimError> {
+    fn run(mut self, counters: Option<&SimCounters>) -> Result<Trace, SimError> {
         let world = self.program.world_size();
         // Every rank calls Init at t=0 and runs to its first blocking point.
         for r in 0..world {
@@ -382,16 +413,8 @@ impl<'a> Engine<'a> {
         };
         let events = self.ranks.into_iter().map(|r| r.events).collect();
         let trace = Trace::new(world, events, self.program.stacks().clone(), meta);
-        if let Some(m) = metrics {
-            m.counter("sim/runs").inc();
-            m.counter("sim/events").add(trace.total_events() as u64);
-            m.counter("sim/messages").add(trace.meta.messages);
-            m.counter("sim/matched")
-                .add(trace.meta.messages - trace.meta.unmatched_messages);
-            m.counter("sim/wildcard_matches")
-                .add(trace.wildcard_recv_count() as u64);
-            m.counter("sim/delays_injected")
-                .add(self.network.delays_injected());
+        if let Some(c) = counters {
+            c.flush(&trace, self.network.delays_injected());
         }
         Ok(trace)
     }

@@ -49,7 +49,9 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod collectives;
+pub mod counters;
 pub mod engine;
 pub mod matching;
 pub mod network;
@@ -63,7 +65,11 @@ pub mod types;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::engine::{simulate, simulate_replay, simulate_traced, SimConfig, SimError};
+    pub use crate::counters::SimCounters;
+    pub use crate::engine::{
+        simulate, simulate_counted, simulate_replay, simulate_traced, simulate_traced_counted,
+        SimConfig, SimError,
+    };
     pub use crate::network::{DelayDistribution, NetworkConfig};
     pub use crate::program::{BalanceError, Program, ProgramBuilder, RequestError};
     pub use crate::replay::MatchRecord;
@@ -73,6 +79,10 @@ pub mod prelude {
     pub use crate::types::{Rank, SimTime, SrcSpec, Tag, TagSpec};
 }
 
-pub use engine::{simulate, simulate_replay, simulate_traced, SimConfig, SimError};
+pub use counters::SimCounters;
+pub use engine::{
+    simulate, simulate_counted, simulate_replay, simulate_traced, simulate_traced_counted,
+    SimConfig, SimError,
+};
 pub use program::{Program, ProgramBuilder};
 pub use trace::Trace;

@@ -98,6 +98,16 @@ impl Default for CallStackTable {
     }
 }
 
+impl PartialEq for CallStackTable {
+    /// Equality over the interned paths only: the lookup index is a
+    /// derived cache (serde skips it) and must not affect comparison.
+    fn eq(&self, other: &Self) -> bool {
+        self.stacks == other.stacks
+    }
+}
+
+impl Eq for CallStackTable {}
+
 impl CallStackTable {
     /// A table containing only the reserved unknown path.
     pub fn new() -> Self {

@@ -119,7 +119,7 @@ pub struct TraceMeta {
 }
 
 /// A complete execution trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     world_size: u32,
     /// `events[r]` is rank `r`'s event list in program order.
