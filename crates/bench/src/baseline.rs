@@ -1,9 +1,11 @@
 //! Pipeline baseline: mean-of-N per-stage wall-times for every mini-app
 //! pattern (the paper's three plus the collectives and stencil2d
 //! extensions), derived from the observability layer's span timers rather
-//! than a separate harness. Each pattern is additionally re-run with a
-//! [`Tracer`] attached, so the report tracks `trace_overhead_pct` — the
-//! cost of tracing relative to the untraced pipeline — from day one.
+//! than a separate harness. Each pattern runs once under the barrier
+//! kernel schedule (the per-stage `features_ms`/`gram_ms` split) and once
+//! under the default pipelined schedule (`features_pipelined_ms` /
+//! `gram_pipelined_ms` / `kernel_speedup`), plus a tracer-attached pass
+//! for `trace_overhead_pct` and a cold/warm artifact-store pass.
 //! `anacin bench baseline` writes the report as `BENCH_baseline.json`; CI
 //! uploads it so perf regressions across the simulate/graph/features/gram
 //! stages are visible per commit.
@@ -14,6 +16,15 @@ use anacin_obs::{MetricsRegistry, Tracer};
 use anacin_store::ArtifactStore;
 use serde::Serialize;
 use std::time::Instant;
+
+/// Untraced campaigns faster than this are noise-dominated at
+/// wall-clock granularity; below it `trace_overhead_pct` is reported as
+/// `null` rather than as a meaningless (often negative) percentage.
+pub const TRACE_OVERHEAD_FLOOR_MS: f64 = 5.0;
+
+/// Overhead percentages come from at least this many timing samples
+/// (medians, not means — a single scheduler hiccup must not skew them).
+pub const MIN_OVERHEAD_SAMPLES: u32 = 5;
 
 /// What to measure: campaign shape and repetition count.
 #[derive(Debug, Clone)]
@@ -50,17 +61,29 @@ pub struct StageTimings {
     pub simulate_ms: f64,
     /// Mean wall-time of event-graph construction.
     pub graph_ms: f64,
-    /// Mean wall-time of feature extraction.
+    /// Mean wall-time of feature extraction (barrier schedule).
     pub features_ms: f64,
-    /// Mean wall-time of the Gram-matrix dot products.
+    /// Mean wall-time of the Gram-matrix dot products (barrier schedule).
     pub gram_ms: f64,
-    /// Mean end-to-end campaign wall-time.
+    /// Mean wall-time of the fused pipeline until the last feature vector
+    /// completed (dot products already running underneath).
+    pub features_pipelined_ms: f64,
+    /// Mean wall-time of the fused pipeline's exposed dot-product tail
+    /// after the last feature completed.
+    pub gram_pipelined_ms: f64,
+    /// `(features_ms + gram_ms) / (features_pipelined_ms +
+    /// gram_pipelined_ms)` — how much faster the fused kernel stage is
+    /// than the barrier schedule.
+    pub kernel_speedup: f64,
+    /// Mean end-to-end campaign wall-time (default pipelined schedule).
     pub total_ms: f64,
     /// Relative cost of running the same campaigns with a tracer
-    /// attached: `(traced_total − total) / total × 100`. Noisy at small
-    /// scales (can go negative); tracked so a tracing-cost regression is
-    /// visible per commit.
-    pub trace_overhead_pct: f64,
+    /// attached: `(median traced − median untraced) / median untraced ×
+    /// 100` over at least [`MIN_OVERHEAD_SAMPLES`] timings. `None`
+    /// (serialised `null`) when the untraced median is under
+    /// [`TRACE_OVERHEAD_FLOOR_MS`] — percentages of a noise-dominated
+    /// baseline are meaningless.
+    pub trace_overhead_pct: Option<f64>,
     /// Simulator events executed across all samples.
     pub events: u64,
     /// Kernel dot products computed across all samples.
@@ -94,7 +117,7 @@ impl BaselineReport {
     pub fn render_table(&self) -> String {
         let mut out = format!(
             "baseline: procs={} runs={} samples={}\n\
-             {:<16} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}\n",
+             {:<16} {:>12} {:>10} {:>12} {:>10} {:>9} {:>9} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8}\n",
             self.procs,
             self.runs,
             self.samples,
@@ -103,6 +126,9 @@ impl BaselineReport {
             "graph_ms",
             "features_ms",
             "gram_ms",
+            "pipe_f_ms",
+            "pipe_g_ms",
+            "kernel_x",
             "total_ms",
             "trace_ovh%",
             "cold_ms",
@@ -110,21 +136,42 @@ impl BaselineReport {
             "store_x"
         );
         for r in &self.patterns {
+            let ovh = match r.trace_overhead_pct {
+                Some(v) => format!("{v:.1}"),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>10.3} {:>10.1} {:>9.3} {:>9.3} {:>8.1}\n",
+                "{:<16} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>9.3} {:>9.3} {:>8.2} {:>10.3} {:>10} {:>9.3} {:>9.3} {:>8.1}\n",
                 r.pattern,
                 r.simulate_ms,
                 r.graph_ms,
                 r.features_ms,
                 r.gram_ms,
+                r.features_pipelined_ms,
+                r.gram_pipelined_ms,
+                r.kernel_speedup,
                 r.total_ms,
-                r.trace_overhead_pct,
+                ovh,
                 r.store_cold_ms,
                 r.store_warm_ms,
                 r.store_speedup
             ));
         }
         out
+    }
+}
+
+/// Median of wall-time samples (NaN-free by construction).
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
     }
 }
 
@@ -136,22 +183,50 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         let ccfg = CampaignConfig::new(p, cfg.procs)
             .runs(cfg.runs)
             .base_seed(cfg.base_seed);
-        // Untraced pass: the published stage timings.
+        // Pipelined pass (the shipped default): end-to-end totals plus the
+        // fused kernel stage's features/tail split.
         let reg = MetricsRegistry::new();
         for _ in 0..cfg.samples {
             run_campaign_with_metrics(&ccfg, Some(&reg)).expect("baseline campaign");
         }
         let report = reg.report();
-        // Traced pass: same campaigns with a tracer attached, so the
-        // report carries the relative cost of tracing.
-        let traced_reg = MetricsRegistry::new();
-        let tracer = Tracer::new();
-        traced_reg.attach_tracer(&tracer);
+        // Barrier pass: the classic per-stage features/gram split the
+        // pipelined schedule dissolves.
+        let barrier_cfg = ccfg.clone().schedule(GramSchedule::Barrier);
+        let barrier_reg = MetricsRegistry::new();
         for _ in 0..cfg.samples {
-            run_campaign_observed(&ccfg, Some(&traced_reg), Some(&tracer), 0)
-                .expect("traced baseline campaign");
+            run_campaign_with_metrics(&barrier_cfg, Some(&barrier_reg))
+                .expect("barrier baseline campaign");
         }
-        let traced = traced_reg.report();
+        let barrier = barrier_reg.report();
+        // Overhead pass: untraced vs traced end-to-end medians over at
+        // least MIN_OVERHEAD_SAMPLES timings each (fresh registry per
+        // timing so one campaign = one span observation).
+        let ov_samples = cfg.samples.max(MIN_OVERHEAD_SAMPLES);
+        let campaign_total_ms = |observed: bool| -> f64 {
+            let r = MetricsRegistry::new();
+            if observed {
+                let tracer = Tracer::new();
+                r.attach_tracer(&tracer);
+                run_campaign_observed(&ccfg, Some(&r), Some(&tracer), 0)
+                    .expect("traced baseline campaign");
+            } else {
+                run_campaign_with_metrics(&ccfg, Some(&r)).expect("untraced baseline campaign");
+            }
+            r.report()
+                .span("campaign")
+                .map(|s| s.total_ns as f64 / 1e6)
+                .unwrap_or(0.0)
+        };
+        let untraced: Vec<f64> = (0..ov_samples).map(|_| campaign_total_ms(false)).collect();
+        let traced: Vec<f64> = (0..ov_samples).map(|_| campaign_total_ms(true)).collect();
+        let untraced_median = median(untraced);
+        let traced_median = median(traced);
+        let trace_overhead_pct = if untraced_median >= TRACE_OVERHEAD_FLOOR_MS {
+            Some((traced_median - untraced_median) / untraced_median * 100.0)
+        } else {
+            None
+        };
         // Store pass: each sample runs the campaign twice against a fresh
         // artifact store — once cold (everything computed and published)
         // and once warm (everything served back) — so the report carries
@@ -195,10 +270,13 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
                 })
                 .unwrap_or(0.0)
         };
-        let total_ms = mean_ms(&report, "campaign");
-        let traced_total_ms = mean_ms(&traced, "campaign");
-        let trace_overhead_pct = if total_ms > 0.0 {
-            (traced_total_ms - total_ms) / total_ms * 100.0
+        let features_ms = mean_ms(&barrier, "campaign/kernel/features");
+        let gram_ms = mean_ms(&barrier, "campaign/kernel/gram");
+        let features_pipelined_ms = mean_ms(&report, "campaign/kernel/pipeline/features");
+        let gram_pipelined_ms = mean_ms(&report, "campaign/kernel/pipeline/gram");
+        let fused = features_pipelined_ms + gram_pipelined_ms;
+        let kernel_speedup = if fused > 0.0 {
+            (features_ms + gram_ms) / fused
         } else {
             0.0
         };
@@ -207,9 +285,12 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
             samples: cfg.samples,
             simulate_ms: mean_ms(&report, "campaign/simulate"),
             graph_ms: mean_ms(&report, "campaign/graph"),
-            features_ms: mean_ms(&report, "campaign/kernel/features"),
-            gram_ms: mean_ms(&report, "campaign/kernel/gram"),
-            total_ms,
+            features_ms,
+            gram_ms,
+            features_pipelined_ms,
+            gram_pipelined_ms,
+            kernel_speedup,
+            total_ms: mean_ms(&report, "campaign"),
             trace_overhead_pct,
             events: report.counter("sim/events").unwrap_or(0),
             dot_products: report.counter("kernel/dot_products").unwrap_or(0),
@@ -231,6 +312,14 @@ mod tests {
     use super::*;
 
     #[test]
+    fn median_of_samples() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
     fn tiny_baseline_covers_every_pattern() {
         let cfg = BaselineConfig {
             procs: 4,
@@ -250,7 +339,15 @@ mod tests {
             assert!(row.simulate_ms >= 0.0);
             assert!(row.events > 0);
             assert_eq!(row.dot_products, 2 * 3 / 2);
-            assert!(row.trace_overhead_pct.is_finite(), "{}", row.pattern);
+            assert!(row.features_ms >= 0.0, "{}", row.pattern);
+            assert!(row.features_pipelined_ms >= 0.0, "{}", row.pattern);
+            assert!(row.gram_pipelined_ms >= 0.0, "{}", row.pattern);
+            assert!(row.kernel_speedup >= 0.0, "{}", row.pattern);
+            // Tiny 4-proc campaigns sit under the noise floor, so the
+            // overhead column must be suppressed, not reported as noise.
+            if let Some(v) = row.trace_overhead_pct {
+                assert!(v.is_finite(), "{}", row.pattern);
+            }
             assert!(row.store_cold_ms > 0.0, "{}", row.pattern);
             assert!(row.store_warm_ms > 0.0, "{}", row.pattern);
             assert!(row.store_speedup > 0.0, "{}", row.pattern);
@@ -263,11 +360,15 @@ mod tests {
         assert!(table.contains("collectives"), "{table}");
         assert!(table.contains("stencil2d"), "{table}");
         assert!(table.contains("trace_ovh%"), "{table}");
+        assert!(table.contains("kernel_x"), "{table}");
         assert!(table.contains("store_x"), "{table}");
         // Serialises cleanly for BENCH_baseline.json.
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"patterns\""));
         assert!(json.contains("\"trace_overhead_pct\""));
+        assert!(json.contains("\"features_pipelined_ms\""));
+        assert!(json.contains("\"gram_pipelined_ms\""));
+        assert!(json.contains("\"kernel_speedup\""));
         assert!(json.contains("\"store_cold_ms\""));
         assert!(json.contains("\"store_warm_ms\""));
         assert!(json.contains("\"store_speedup\""));

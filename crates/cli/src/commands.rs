@@ -22,6 +22,8 @@ COMMANDS
   run         run a measurement campaign ('campaign' is an alias)
               --pattern race|amg2013|mesh|collectives  --procs N  --nd P
               --runs N  --iterations N  --nodes N  --seed S  [--json]
+              [--gram-schedule barrier|pipelined]  kernel-stage schedule
+                                (default pipelined; results bit-identical)
               [--metrics FILE]  write a pipeline metrics report (JSON) and
                                 print a per-stage summary table to stderr
               [--trace FILE[.json|.folded]]  record an execution trace:
@@ -139,6 +141,9 @@ fn campaign_of(args: &Args) -> Result<CampaignConfig, String> {
         .iterations(args.get_parsed("iterations", 1u32)?)
         .nodes(args.get_parsed("nodes", 1u32)?)
         .base_seed(args.get_parsed("seed", 1u64)?);
+    if let Some(s) = args.get("gram-schedule") {
+        cfg = cfg.schedule(s.parse()?);
+    }
     cfg.app.message_bytes = args.get_parsed("bytes", 1u64)?;
     Ok(cfg)
 }

@@ -5,9 +5,10 @@
 //! times to collect a sample of non-deterministic executions", §III-B),
 //! compressed from cluster-hours to milliseconds by the simulator.
 
-use crate::config::CampaignConfig;
+use crate::config::{CampaignConfig, GramSchedule};
 use anacin_event_graph::EventGraph;
 use anacin_kernels::matrix::{gram_matrix_with_metrics, KernelMatrix};
+use anacin_kernels::pipeline::gram_pipelined_with_metrics;
 use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::stack::CallStackTable;
@@ -218,7 +219,16 @@ pub fn run_campaign_observed(
     let kernel = config.kernel.instantiate();
     let matrix = {
         let _s = metrics.map(|m| m.span("kernel"));
-        gram_matrix_with_metrics(kernel.as_ref(), &graphs, config.threads, metrics)
+        // Both schedules are bit-identical (asserted in tests/pipeline.rs);
+        // only the span/counter shape under `campaign/kernel` differs.
+        match config.schedule {
+            GramSchedule::Barrier => {
+                gram_matrix_with_metrics(kernel.as_ref(), &graphs, config.threads, metrics)
+            }
+            GramSchedule::Pipelined => {
+                gram_pipelined_with_metrics(kernel.as_ref(), &graphs, config.threads, metrics)
+            }
+        }
     };
     if let Some(m) = metrics {
         m.counter("campaign/runs").add(config.runs as u64);
@@ -324,13 +334,16 @@ mod tests {
         let report = reg.report();
         // Per-stage wall-times present (non-negative by construction: the
         // report stores unsigned nanoseconds) for every pipeline stage.
+        // The default schedule is pipelined, so the kernel stage reports
+        // the fused span with its features/gram split.
         for stage in [
             "campaign",
             "campaign/simulate",
             "campaign/graph",
             "campaign/kernel",
-            "campaign/kernel/features",
-            "campaign/kernel/gram",
+            "campaign/kernel/pipeline",
+            "campaign/kernel/pipeline/features",
+            "campaign/kernel/pipeline/gram",
         ] {
             let s = report
                 .span(stage)
@@ -347,10 +360,27 @@ mod tests {
         assert_eq!(report.counter("graph/nodes"), Some(nodes as u64));
         assert_eq!(report.counter("kernel/features"), Some(5));
         assert_eq!(report.counter("kernel/dot_products"), Some(5 * 6 / 2));
+        assert_eq!(report.counter("kernel/pipeline_tasks"), Some(5 + 5 * 6 / 2));
         assert_eq!(report.counter("stats/nan_distances"), Some(0));
         // The metrics run is bit-identical to an unobserved one.
         let plain = run_campaign(&cfg).unwrap();
         assert_eq!(r.distance_sample(), plain.distance_sample());
+    }
+
+    #[test]
+    fn barrier_schedule_reports_stage_spans_and_matches_pipelined() {
+        let reg = MetricsRegistry::new();
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6)
+            .runs(5)
+            .schedule(GramSchedule::Barrier);
+        let r = run_campaign_with_metrics(&cfg, Some(&reg)).unwrap();
+        let report = reg.report();
+        for stage in ["campaign/kernel/features", "campaign/kernel/gram"] {
+            assert!(report.span(stage).is_some(), "missing span {stage}");
+        }
+        assert!(report.counter("kernel/pipeline_tasks").is_none());
+        let pipelined = run_campaign(&cfg.clone().schedule(GramSchedule::Pipelined)).unwrap();
+        assert_eq!(r.matrix, pipelined.matrix);
     }
 
     #[test]

@@ -25,16 +25,18 @@
 //!
 //! Fingerprints absorb a domain-separation label, [`KEY_SCHEMA`], and the
 //! canonical JSON of each semantic field (the config types' serde
-//! encodings are stable). `threads` is deliberately excluded: thread
-//! count never changes results, so warm hits survive re-running on a
-//! different machine shape. Changing pipeline semantics requires bumping
-//! [`KEY_SCHEMA`], which cleanly invalidates every old key.
+//! encodings are stable). `threads` and `schedule` are deliberately
+//! excluded: thread count and kernel-stage scheduling never change
+//! results, so warm hits survive re-running on a different machine shape
+//! or under a different schedule. Changing pipeline semantics requires
+//! bumping [`KEY_SCHEMA`], which cleanly invalidates every old key.
 
 use crate::campaign::{CampaignError, CampaignResult};
-use crate::config::CampaignConfig;
+use crate::config::{CampaignConfig, GramSchedule};
 use anacin_event_graph::EventGraph;
 use anacin_kernels::feature::SparseFeatures;
 use anacin_kernels::matrix::{gram_from_features_with_metrics, KernelMatrix};
+use anacin_kernels::pipeline::gram_pipelined_seeded_with_metrics;
 use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::trace::Trace;
@@ -328,37 +330,61 @@ pub fn run_campaign_incremental_observed(
                 None => missing.push(run as usize),
             }
         }
-        if !missing.is_empty() {
-            let missing_graphs: Vec<EventGraph> =
-                missing.iter().map(|&i| graphs[i].clone()).collect();
-            let computed = anacin_kernels::matrix::parallel_features_with_metrics(
+        let campaign_fp = campaign_fingerprint(config);
+        let stored = get_or_heal::<KernelMatrix>(store, campaign_fp)?;
+        if !missing.is_empty() && stored.is_none() && config.schedule == GramSchedule::Pipelined {
+            // Fused cold/mixed path: warm features seed the pipeline,
+            // missing ones are extracted by it, and dot products overlap
+            // the feature tail. The pipeline reads `graphs` in place, so
+            // no missing-graph clones are made. Bit-identical to the
+            // barrier path below (asserted in tests/pipeline.rs).
+            let (all, m) = gram_pipelined_seeded_with_metrics(
                 kernel.as_ref(),
-                &missing_graphs,
+                &graphs,
+                feats,
                 config.threads,
                 metrics,
             );
-            for (&i, f) in missing.iter().zip(computed) {
-                store.put(features_fingerprint(config, i as u32), &f)?;
-                feats[i] = Some(f);
+            for &i in &missing {
+                store.put(features_fingerprint(config, i as u32), &all[i])?;
             }
-        }
-        let feats: Vec<SparseFeatures> = feats
-            .into_iter()
-            .map(|f| f.expect("all slots filled"))
-            .collect();
-        let campaign_fp = campaign_fingerprint(config);
-        match get_or_heal::<KernelMatrix>(store, campaign_fp)? {
-            Some(m) => m,
-            None => {
-                let m = gram_from_features_with_metrics(
-                    &kernel.name(),
-                    &feats,
+            store.put(campaign_fp, &m)?;
+            store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
+            m
+        } else {
+            if !missing.is_empty() {
+                let missing_graphs: Vec<EventGraph> =
+                    missing.iter().map(|&i| graphs[i].clone()).collect();
+                let computed = anacin_kernels::matrix::parallel_features_with_metrics(
+                    kernel.as_ref(),
+                    &missing_graphs,
                     config.threads,
                     metrics,
                 );
-                store.put(campaign_fp, &m)?;
-                store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
-                m
+                for (&i, f) in missing.iter().zip(computed) {
+                    store.put(features_fingerprint(config, i as u32), &f)?;
+                    feats[i] = Some(f);
+                }
+            }
+            let feats: Vec<SparseFeatures> = feats
+                .into_iter()
+                .map(|f| f.expect("all slots filled"))
+                .collect();
+            match stored {
+                Some(m) => m,
+                None => {
+                    // Fully warm features (or barrier schedule): the plain
+                    // from-features Gram — the warm path never changes.
+                    let m = gram_from_features_with_metrics(
+                        &kernel.name(),
+                        &feats,
+                        config.threads,
+                        metrics,
+                    );
+                    store.put(campaign_fp, &m)?;
+                    store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
+                    m
+                }
             }
         }
     };
@@ -541,5 +567,14 @@ mod tests {
         threaded.threads = 1;
         assert_eq!(base, run_fingerprint(&threaded, 0));
         assert_eq!(campaign_fingerprint(&cfg), campaign_fingerprint(&threaded));
+        // Neither is the kernel-stage schedule: both schedules produce
+        // bit-identical artifacts, so they share warm store entries.
+        let barrier = cfg.clone().schedule(GramSchedule::Barrier);
+        assert_eq!(base, run_fingerprint(&barrier, 0));
+        assert_eq!(
+            features_fingerprint(&cfg, 0),
+            features_fingerprint(&barrier, 0)
+        );
+        assert_eq!(campaign_fingerprint(&cfg), campaign_fingerprint(&barrier));
     }
 }

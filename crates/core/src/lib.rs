@@ -44,7 +44,7 @@ pub mod prelude {
         run_campaign, run_campaign_observed, run_campaign_with_metrics, run_traces,
         run_traces_observed, run_traces_with_metrics, CampaignError, CampaignResult,
     };
-    pub use crate::config::{default_threads, CampaignConfig, KernelChoice};
+    pub use crate::config::{default_threads, CampaignConfig, GramSchedule, KernelChoice};
     pub use crate::incremental::{
         campaign_fingerprint, features_fingerprint, run_campaign_incremental,
         run_campaign_incremental_observed, run_campaign_incremental_with_metrics, run_fingerprint,
@@ -63,6 +63,6 @@ pub mod prelude {
 }
 
 pub use campaign::{run_campaign, run_campaign_with_metrics, CampaignError, CampaignResult};
-pub use config::{CampaignConfig, KernelChoice};
+pub use config::{CampaignConfig, GramSchedule, KernelChoice};
 pub use incremental::{run_campaign_incremental, IncrementalError};
 pub use measure::NdMeasurement;

@@ -6,8 +6,8 @@
 //! without touching the graph again.
 //!
 //! Both encodings are canonical — features are written sorted by feature
-//! id (the in-memory `HashMap` order is not stable), matrices in row-major
-//! order — so a warm read re-encodes to the identical bytes.
+//! id (the in-memory map iterates in exactly that order), matrices in
+//! row-major order — so a warm read re-encodes to the identical bytes.
 
 use crate::feature::SparseFeatures;
 use crate::matrix::KernelMatrix;
@@ -17,10 +17,8 @@ impl Artifact for SparseFeatures {
     const KIND: ArtifactKind = ArtifactKind::Features;
 
     fn encode_into(&self, w: &mut ByteWriter) {
-        let mut pairs: Vec<(u64, f64)> = self.iter().collect();
-        pairs.sort_by_key(|&(id, _)| id);
-        w.seq_len(pairs.len());
-        for (id, weight) in pairs {
+        w.seq_len(self.nnz());
+        for (id, weight) in self.iter() {
             w.u64(id);
             w.f64(weight);
         }

@@ -120,6 +120,10 @@ pub fn parallel_features(
 /// [`parallel_features`], additionally recording a `features` span, the
 /// `kernel/features` counter, and the `kernel/threads` gauge when a
 /// registry is supplied. Results are identical either way.
+///
+/// This is the barrier entry point to the fused pipeline's feature stage
+/// (`pipeline::features_stage`) — one scheduler serves both the barrier
+/// and pipelined paths.
 pub fn parallel_features_with_metrics(
     kernel: &dyn GraphKernel,
     graphs: &[EventGraph],
@@ -132,46 +136,7 @@ pub fn parallel_features_with_metrics(
         m.counter("kernel/features").add(graphs.len() as u64);
         m.set_gauge("kernel/threads", threads as f64);
     }
-    let next = AtomicUsize::new(0);
-    let mut out: Vec<Option<SparseFeatures>> = vec![None; graphs.len()];
-    // Hand each worker a disjoint set of slots via unsafe-free interior
-    // mutability: split the output into per-index cells using a Mutex-free
-    // approach — collect results per worker and scatter afterwards.
-    let results: Vec<Vec<(usize, SparseFeatures)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= graphs.len() {
-                            break;
-                        }
-                        // Per-graph span on the worker's own thread (path
-                        // "feature": worker threads have no span stack), so
-                        // traced timelines show each extraction, not just
-                        // the stage total.
-                        let _sp = metrics.map(|m| m.span("feature"));
-                        local.push((i, kernel.features(&graphs[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    for chunk in results {
-        for (i, f) in chunk {
-            out[i] = Some(f);
-        }
-    }
-    out.into_iter()
-        .map(|f| f.expect("all slots filled"))
-        .collect()
+    crate::pipeline::features_stage(kernel, graphs, threads, metrics)
 }
 
 /// Compute the Gram matrix of `graphs` under `kernel` using up to

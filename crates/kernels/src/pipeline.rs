@@ -1,0 +1,435 @@
+//! Fused feature→Gram pipeline.
+//!
+//! [`gram_matrix_with_metrics`](crate::matrix::gram_matrix_with_metrics)
+//! runs two barriers: every φ(Gᵢ) is extracted before the first dot
+//! product starts, so while the last (often largest) graph is still being
+//! relabelled, every other worker idles. Here both task kinds share one
+//! worker pool: workers drain feature-extraction tasks from an atomic
+//! counter, and completing φ(Gᵢ) immediately enqueues the dot products
+//! (i, j) against every already-completed j — Gram work overlaps the
+//! feature tail instead of waiting for it.
+//!
+//! # Bit-exactness
+//!
+//! The pipelined matrix is bit-identical to the barrier path at any
+//! thread count, for the same reason the barrier path is thread-count
+//! invariant: each (i, j) pair is enqueued exactly once (when the later of
+//! φ(Gᵢ), φ(Gⱼ) completes), each dot product is computed exactly once by
+//! the same `feats[i].dot(&feats[j])` expression, and the scatter into the
+//! row-major buffer writes each cell from exactly one task. No value is
+//! ever accumulated across tasks, so execution order cannot perturb a
+//! single bit. Differential tests in `tests/pipeline.rs` assert equality
+//! against the barrier path for all five kernels across thread counts.
+
+use crate::feature::SparseFeatures;
+use crate::kernel::GraphKernel;
+use crate::matrix::KernelMatrix;
+use anacin_event_graph::EventGraph;
+use anacin_obs::MetricsRegistry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A dot-product task: the unordered pair (i ≤ j) plus the instant it
+/// became runnable (both operands available), for the ready-lag counter.
+type DotTask = (usize, usize, Instant);
+
+/// Shared scheduler state: which feature indices have completed, and the
+/// dot products those completions have made runnable.
+struct QueueState {
+    completed: Vec<usize>,
+    ready: Vec<DotTask>,
+    /// Instant the final feature completed (drives the `…/features` vs
+    /// `…/gram` split of the pipeline span).
+    features_done: Option<Instant>,
+}
+
+struct DotQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// Compute the Gram matrix of `graphs` under `kernel` with the fused
+/// feature→dot-product pipeline. Bit-identical to
+/// [`gram_matrix`](crate::matrix::gram_matrix) at any thread count.
+pub fn gram_pipelined(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+) -> KernelMatrix {
+    gram_pipelined_with_metrics(kernel, graphs, threads, None)
+}
+
+/// [`gram_pipelined`], additionally recording the `pipeline` span (with
+/// `…/features` and `…/gram` sub-records splitting it at the instant the
+/// last feature completed), the `kernel/features`, `kernel/dot_products`,
+/// `kernel/pipeline_tasks` and `kernel/ready_lag_ns` counters, and the
+/// `kernel/threads` gauge. The matrix is bit-identical either way.
+pub fn gram_pipelined_with_metrics(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
+    let seeds = (0..graphs.len()).map(|_| None).collect();
+    gram_pipelined_seeded_with_metrics(kernel, graphs, seeds, threads, metrics).1
+}
+
+/// [`gram_pipelined_with_metrics`] with some feature vectors already known
+/// — the incremental cold/mixed path, where warm per-run features come out
+/// of the artifact store and only the missing ones are extracted. Returns
+/// every feature vector (seeded ones passed through untouched) alongside
+/// the matrix. `seeds` must have one entry per graph.
+///
+/// Counters account only for work actually performed: `kernel/features`
+/// counts extracted (non-seeded) vectors, `kernel/dot_products` all
+/// n(n+1)/2 products, `kernel/pipeline_tasks` their sum.
+pub fn gram_pipelined_seeded_with_metrics(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    seeds: Vec<Option<SparseFeatures>>,
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> (Vec<SparseFeatures>, KernelMatrix) {
+    assert_eq!(seeds.len(), graphs.len(), "one seed slot per graph");
+    let n = graphs.len();
+    let n_dots = n * (n + 1) / 2;
+    let n_extract = seeds.iter().filter(|s| s.is_none()).count();
+    let threads = threads.max(1).min(n.max(1));
+    let span = metrics.map(|m| m.span("pipeline"));
+    if let Some(m) = metrics {
+        m.counter("kernel/features").add(n_extract as u64);
+        m.counter("kernel/dot_products").add(n_dots as u64);
+        m.counter("kernel/pipeline_tasks")
+            .add((n_extract + n_dots) as u64);
+        m.set_gauge("kernel/threads", threads as f64);
+    }
+    let start = Instant::now();
+    let (slots, values) = run_pipeline(kernel, graphs, seeds, threads, metrics, |st| {
+        // Record how the pipeline wall time divides into "features still
+        // being extracted" vs "pure dot-product tail" under the pipeline
+        // span's own path, e.g. `campaign/kernel/pipeline/features`.
+        if let (Some(m), Some(sp)) = (metrics, &span) {
+            let done = st.features_done.unwrap_or(start);
+            let feat_ns = done.duration_since(start).as_nanos() as u64;
+            m.record_span(&format!("{}/features", sp.path()), feat_ns);
+            m.record_span(
+                &format!("{}/gram", sp.path()),
+                done.elapsed().as_nanos() as u64,
+            );
+        }
+    });
+    let feats: Vec<SparseFeatures> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all features computed"))
+        .collect();
+    let matrix = KernelMatrix::from_parts(n, values, kernel.name());
+    drop(span);
+    (feats, matrix)
+}
+
+/// The pipeline's feature stage alone — extract φ(G) for every graph with
+/// no dot-product tasks. Backs
+/// [`parallel_features_with_metrics`](crate::matrix::parallel_features_with_metrics);
+/// spans/counters are the caller's business.
+pub(crate) fn features_stage(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<SparseFeatures> {
+    let n = graphs.len();
+    let slots: Vec<OnceLock<SparseFeatures>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1).min(n.max(1)) {
+            let next = &next;
+            let slots = &slots;
+            s.spawn(move || {
+                extract_features(kernel, graphs, slots, next, metrics, None);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// The feature loop every worker runs first: pull the next unextracted
+/// index, compute φ, publish the slot, and (when a queue is present) make
+/// the newly runnable dot products visible to all workers.
+fn extract_features(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    slots: &[OnceLock<SparseFeatures>],
+    next: &AtomicUsize,
+    metrics: Option<&MetricsRegistry>,
+    queue: Option<(&DotQueue, &[usize], usize)>,
+) {
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        let i = match queue {
+            Some((_, to_extract, _)) => match to_extract.get(k) {
+                Some(&i) => i,
+                None => break,
+            },
+            None => {
+                if k >= graphs.len() {
+                    break;
+                }
+                k
+            }
+        };
+        // Per-graph span on the worker's own thread (path "feature":
+        // worker threads have no span stack), so traced timelines show
+        // each extraction, not just the stage total.
+        let f = {
+            let _sp = metrics.map(|m| m.span("feature"));
+            kernel.features(&graphs[i])
+        };
+        assert!(slots[i].set(f).is_ok(), "feature slot set once");
+        if let Some((q, _, n_total)) = queue {
+            let now = Instant::now();
+            let mut st = q.state.lock().expect("dot queue poisoned");
+            st.completed.push(i);
+            let QueueState {
+                completed,
+                ready,
+                features_done,
+            } = &mut *st;
+            // (i, j) for every completed j — including j = i, the diagonal
+            // — becomes runnable exactly now. Each unordered pair is
+            // enqueued once: when the later of its two operands lands.
+            for &j in completed.iter() {
+                ready.push((i.min(j), i.max(j), now));
+            }
+            if completed.len() == n_total {
+                *features_done = Some(Instant::now());
+            }
+            drop(st);
+            // Wake every sleeper: several dot products may have become
+            // runnable, and the worker that finishes the final feature
+            // must also rouse workers waiting to discover there is no
+            // more work.
+            q.cv.notify_all();
+        }
+    }
+}
+
+/// Run the fused pipeline: feature stage feeding a shared dot-product
+/// queue. Returns the filled feature slots and the row-major Gram buffer.
+/// `on_drained` runs once, after the workers join, with the final queue
+/// state (for timing records).
+fn run_pipeline(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    seeds: Vec<Option<SparseFeatures>>,
+    threads: usize,
+    metrics: Option<&MetricsRegistry>,
+    on_drained: impl FnOnce(&QueueState),
+) -> (Vec<OnceLock<SparseFeatures>>, Vec<f64>) {
+    let n = graphs.len();
+    let slots: Vec<OnceLock<SparseFeatures>> = (0..n).map(|_| OnceLock::new()).collect();
+    let start = Instant::now();
+    let mut to_extract: Vec<usize> = Vec::new();
+    let mut completed: Vec<usize> = Vec::new();
+    for (i, seed) in seeds.into_iter().enumerate() {
+        match seed {
+            Some(f) => {
+                assert!(slots[i].set(f).is_ok(), "seed slot set once");
+                completed.push(i);
+            }
+            None => to_extract.push(i),
+        }
+    }
+    // Pairs among the seeded features are runnable from the start.
+    let mut ready: Vec<DotTask> = Vec::new();
+    for (a, &i) in completed.iter().enumerate() {
+        for &j in &completed[a..] {
+            ready.push((i.min(j), i.max(j), start));
+        }
+    }
+    let queue = DotQueue {
+        state: Mutex::new(QueueState {
+            features_done: if to_extract.is_empty() {
+                Some(start)
+            } else {
+                None
+            },
+            completed,
+            ready,
+        }),
+        cv: Condvar::new(),
+    };
+    let next = AtomicUsize::new(0);
+    let lag = metrics.map(|m| m.counter("kernel/ready_lag_ns"));
+    let dots: Vec<Vec<(usize, usize, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let queue = &queue;
+                let slots = &slots;
+                let to_extract = &to_extract;
+                let lag = lag.clone();
+                s.spawn(move || {
+                    // Features first: a new feature unlocks up to n dot
+                    // products, so extraction is always the critical path.
+                    extract_features(
+                        kernel,
+                        graphs,
+                        slots,
+                        next,
+                        metrics,
+                        Some((queue, to_extract, n)),
+                    );
+                    // Then drain dot products until every pair has been
+                    // handed out. Sleeping is only possible while features
+                    // remain outstanding, and every completion broadcasts,
+                    // so no worker can sleep past the last enqueue.
+                    let mut local: Vec<(usize, usize, f64)> = Vec::new();
+                    loop {
+                        let task = {
+                            let mut st = queue.state.lock().expect("dot queue poisoned");
+                            loop {
+                                if let Some(t) = st.ready.pop() {
+                                    break Some(t);
+                                }
+                                if st.completed.len() == n {
+                                    break None;
+                                }
+                                st = queue.cv.wait(st).expect("dot queue poisoned");
+                            }
+                        };
+                        let Some((i, j, runnable_at)) = task else {
+                            break;
+                        };
+                        if let Some(lag) = &lag {
+                            lag.add(runnable_at.elapsed().as_nanos() as u64);
+                        }
+                        let fi = slots[i].get().expect("operand i ready");
+                        let fj = slots[j].get().expect("operand j ready");
+                        local.push((i, j, fi.dot(fj)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    });
+    on_drained(&queue.state.lock().expect("dot queue poisoned"));
+    let mut values = vec![0.0; n * n];
+    for chunk in dots {
+        for (i, j, v) in chunk {
+            values[i * n + j] = v;
+            values[j * n + i] = v;
+        }
+    }
+    (slots, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{gram_matrix, parallel_features};
+    use crate::wl::WlKernel;
+    use anacin_mpisim::prelude::*;
+
+    fn race_graphs(count: u64, nd: f64) -> Vec<EventGraph> {
+        (0..count)
+            .map(|seed| {
+                let mut b = ProgramBuilder::new(6);
+                for r in 1..6 {
+                    b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+                }
+                for _ in 1..6 {
+                    b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+                }
+                let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
+                EventGraph::from_trace(&t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_equals_barrier_for_all_small_sizes() {
+        let all = race_graphs(9, 100.0);
+        let k = WlKernel::default();
+        for n in 0..=9 {
+            let graphs = &all[..n];
+            let barrier = gram_matrix(&k, graphs, 4);
+            for threads in [1, 2, 8] {
+                let m = gram_pipelined(&k, graphs, threads);
+                assert_eq!(m, barrier, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_pipeline_matches_unseeded() {
+        let graphs = race_graphs(7, 100.0);
+        let k = WlKernel::default();
+        let feats = parallel_features(&k, &graphs, 2);
+        let barrier = gram_matrix(&k, &graphs, 2);
+        // Seed every subset shape: none, alternating, all.
+        for pattern in 0..3u32 {
+            let seeds: Vec<Option<SparseFeatures>> = feats
+                .iter()
+                .enumerate()
+                .map(|(i, f)| match pattern {
+                    0 => None,
+                    1 if i % 2 == 0 => Some(f.clone()),
+                    1 => None,
+                    _ => Some(f.clone()),
+                })
+                .collect();
+            let (out_feats, m) = gram_pipelined_seeded_with_metrics(&k, &graphs, seeds, 3, None);
+            assert_eq!(out_feats, feats, "pattern={pattern}");
+            assert_eq!(m, barrier, "pattern={pattern}");
+        }
+    }
+
+    #[test]
+    fn pipeline_metrics_account_for_all_tasks() {
+        let graphs = race_graphs(6, 100.0);
+        let reg = anacin_obs::MetricsRegistry::new();
+        let k = WlKernel::default();
+        let m = gram_pipelined_with_metrics(&k, &graphs, 2, Some(&reg));
+        assert_eq!(m.len(), 6);
+        let report = reg.report();
+        assert_eq!(report.counter("kernel/features"), Some(6));
+        assert_eq!(report.counter("kernel/dot_products"), Some(6 * 7 / 2));
+        assert_eq!(report.counter("kernel/pipeline_tasks"), Some(6 + 6 * 7 / 2));
+        assert!(report.counter("kernel/ready_lag_ns").is_some());
+        assert!(report.span("pipeline").is_some());
+        assert!(report.span("pipeline/features").is_some());
+        assert!(report.span("pipeline/gram").is_some());
+    }
+
+    #[test]
+    fn seeded_metrics_count_only_extracted_features() {
+        let graphs = race_graphs(5, 100.0);
+        let k = WlKernel::default();
+        let feats = parallel_features(&k, &graphs, 1);
+        let seeds: Vec<Option<SparseFeatures>> = feats
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i < 3).then(|| f.clone()))
+            .collect();
+        let reg = anacin_obs::MetricsRegistry::new();
+        let _ = gram_pipelined_seeded_with_metrics(&k, &graphs, seeds, 2, Some(&reg));
+        let report = reg.report();
+        assert_eq!(report.counter("kernel/features"), Some(2));
+        assert_eq!(report.counter("kernel/dot_products"), Some(5 * 6 / 2));
+        assert_eq!(report.counter("kernel/pipeline_tasks"), Some(2 + 15));
+    }
+
+    #[test]
+    fn empty_sample_pipelined() {
+        let m = gram_pipelined(&WlKernel::default(), &[], 4);
+        assert!(m.is_empty());
+    }
+}

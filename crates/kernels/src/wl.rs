@@ -12,6 +12,21 @@
 //!
 //! Direction is respected (in- and out-neighbourhoods hashed separately),
 //! matching the directed nature of event graphs.
+//!
+//! # Label interning
+//!
+//! Feature extraction runs through a [`LabelInterner`]: after each round
+//! the raw 64-bit labels are compressed to dense `u32` ids (the classic
+//! label-compression step of Shervashidze et al.), and all per-round
+//! scratch — neighbour-contribution buffers, the sort buffer, the round's
+//! label table — lives in one arena owned by the extraction call and is
+//! reused across all `iterations` rounds. Dense ids are assigned in sorted
+//! `u64` order, so `table[dense[v]]` recovers each node's canonical label
+//! and dense-id comparisons agree with raw-label comparisons. The emitted
+//! [`SparseFeatures`] are byte-identical to the historical
+//! one-`Vec`-per-node implementation (kept under `#[cfg(test)]` as the
+//! differential oracle), so store fingerprints and artifact bytes are
+//! unchanged.
 
 use crate::feature::SparseFeatures;
 use crate::kernel::GraphKernel;
@@ -43,6 +58,194 @@ impl Default for WlKernel {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step: fold a `u64` word into state `h`, byte by byte —
+/// exactly what [`fnv1a_words`] does per word, so folding a node's word
+/// sequence through this reproduces its digest bit-for-bit.
+#[inline]
+fn absorb_word(mut h: u64, w: u64) -> u64 {
+    for b in w.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Streaming FNV-1a over `u64` words. `absorb` word-by-word produces
+/// exactly the digest [`fnv1a_words`] yields over the concatenated slice,
+/// so relabelling never materialises a per-node word `Vec`.
+struct WordHasher(u64);
+
+impl WordHasher {
+    fn new() -> Self {
+        WordHasher(FNV_OFFSET)
+    }
+
+    #[inline]
+    fn absorb(&mut self, w: u64) {
+        self.0 = absorb_word(self.0, w);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-graph arena for WL refinement: the current round's dense labels,
+/// the dense→`u64` label table, per-kind contribution tables, and every
+/// scratch buffer a relabelling round needs. One allocation set serves all
+/// `iterations` rounds of one extraction call.
+struct LabelInterner {
+    /// Dense label id per node for the current round.
+    dense: Vec<u32>,
+    /// Canonical `u64` label per dense id, ascending — so dense-id order
+    /// equals raw-label order and lookups are a binary search away.
+    table: Vec<u64>,
+    /// Contribution of each dense id through a Program edge (edge-sensitive
+    /// mode only; computed once per round instead of once per edge).
+    contrib_program: Vec<u64>,
+    /// Contribution of each dense id through a Message edge.
+    contrib_message: Vec<u64>,
+    /// Raw `u64` labels of the round being built.
+    raw: Vec<u64>,
+    /// Flattened word streams for the round: every node's hash input
+    /// `[own, MAX, sorted in, MAX−1, sorted out]` back to back.
+    words: Vec<u64>,
+    /// Exclusive end offset of each node's word range in `words`.
+    word_ends: Vec<u32>,
+    /// Argsort buffer for interning: `(label, node)` pairs.
+    sort_buf: Vec<(u64, u32)>,
+}
+
+impl LabelInterner {
+    fn new(nodes: usize) -> Self {
+        LabelInterner {
+            dense: vec![0; nodes],
+            table: Vec::new(),
+            contrib_program: Vec::new(),
+            contrib_message: Vec::new(),
+            raw: Vec::new(),
+            words: Vec::new(),
+            word_ends: Vec::new(),
+            sort_buf: Vec::new(),
+        }
+    }
+
+    /// Compress `self.raw` into dense ids: the table is the sorted,
+    /// deduplicated label set and each node's dense id is its label's rank
+    /// within it. One argsort of `(label, node)` pairs yields table and
+    /// per-node ranks in a single pass — no per-node binary search.
+    fn intern(&mut self) {
+        self.sort_buf.clear();
+        self.sort_buf
+            .extend(self.raw.iter().enumerate().map(|(i, &l)| (l, i as u32)));
+        self.sort_buf.sort_unstable();
+        self.table.clear();
+        let mut last: Option<u64> = None;
+        for &(l, i) in &self.sort_buf {
+            if last != Some(l) {
+                self.table.push(l);
+                last = Some(l);
+            }
+            self.dense[i as usize] = (self.table.len() - 1) as u32;
+        }
+    }
+
+    /// One relabelling round over dense labels, writing the next round's
+    /// raw labels into `self.raw`. The hashed word sequence per node is
+    /// exactly the historical `[own, MAX, sorted in, MAX−1, sorted out]`,
+    /// so the output labels are bit-identical to the uninterned path.
+    ///
+    /// Runs in two phases: flatten every node's word stream into one arena
+    /// buffer, then hash several nodes' streams as independent lanes. The
+    /// FNV fold is a serial xor-multiply chain per node, so hashing one
+    /// node at a time is latency-bound; interleaved lanes give the
+    /// out-of-order core independent chains to overlap, without changing
+    /// any lane's byte sequence.
+    fn relabel(&mut self, g: &EventGraph, edge_sensitive: bool) {
+        self.contrib_program.clear();
+        self.contrib_message.clear();
+        if edge_sensitive {
+            for &l in &self.table {
+                self.contrib_program.push(fnv1a_words(&[l, 1]));
+                self.contrib_message.push(fnv1a_words(&[l, 2]));
+            }
+        }
+        // Phase 1: gather. Neighbour contributions are pushed straight into
+        // the flat buffer and each in-/out-range sorted in place.
+        let words = &mut self.words;
+        let word_ends = &mut self.word_ends;
+        let dense = &self.dense;
+        let table = &self.table;
+        let (cp, cm) = (&self.contrib_program, &self.contrib_message);
+        let contrib = |n: anacin_event_graph::NodeId, k: EdgeKind| {
+            let d = dense[n.index()] as usize;
+            if edge_sensitive {
+                match k {
+                    EdgeKind::Program => cp[d],
+                    EdgeKind::Message => cm[d],
+                }
+            } else {
+                table[d]
+            }
+        };
+        words.clear();
+        word_ends.clear();
+        for id in g.node_ids() {
+            words.push(table[dense[id.index()] as usize]);
+            words.push(u64::MAX); // separator
+            let s = words.len();
+            words.extend(g.in_edges(id).iter().map(|&(n, k)| contrib(n, k)));
+            words[s..].sort_unstable();
+            words.push(u64::MAX - 1); // separator
+            let s = words.len();
+            words.extend(g.out_edges(id).iter().map(|&(n, k)| contrib(n, k)));
+            words[s..].sort_unstable();
+            word_ends.push(words.len() as u32);
+        }
+        // Phase 2: hash LANES nodes at a time. Node ids are dense indices
+        // in iteration order, so word range `i` belongs to `raw[i]`.
+        const LANES: usize = 4;
+        let n = word_ends.len();
+        let range = |i: usize| -> (usize, usize) {
+            let s = if i == 0 { 0 } else { word_ends[i - 1] as usize };
+            (s, word_ends[i] as usize)
+        };
+        let mut node = 0usize;
+        while node + LANES <= n {
+            let mut starts = [0usize; LANES];
+            let mut lens = [0usize; LANES];
+            let mut states = [FNV_OFFSET; LANES];
+            let mut max_len = 0usize;
+            for (l, (start, len)) in starts.iter_mut().zip(lens.iter_mut()).enumerate() {
+                let (s, e) = range(node + l);
+                *start = s;
+                *len = e - s;
+                max_len = max_len.max(e - s);
+            }
+            for pos in 0..max_len {
+                for l in 0..LANES {
+                    if pos < lens[l] {
+                        states[l] = absorb_word(states[l], words[starts[l] + pos]);
+                    }
+                }
+            }
+            self.raw[node..node + LANES].copy_from_slice(&states);
+            node += LANES;
+        }
+        while node < n {
+            let (s, e) = range(node);
+            let mut h = WordHasher::new();
+            for &w in &words[s..e] {
+                h.absorb(w);
+            }
+            self.raw[node] = h.finish();
+            node += 1;
+        }
+    }
+}
+
 impl WlKernel {
     /// A WL kernel with `iterations` rounds and the default label policy.
     pub fn with_iterations(iterations: u32) -> Self {
@@ -52,8 +255,81 @@ impl WlKernel {
         }
     }
 
-    /// One WL relabelling round.
-    fn relabel(g: &EventGraph, labels: &[u64], edge_sensitive: bool) -> Vec<u64> {
+    /// Drive the interned refinement, invoking `visit(round, table, dense)`
+    /// once per round (round 0 = initial labels). `table[dense[v]]` is node
+    /// `v`'s canonical `u64` label for that round.
+    fn for_each_round(&self, g: &EventGraph, mut visit: impl FnMut(usize, &[u64], &[u32])) {
+        let mut arena = LabelInterner::new(g.node_count());
+        arena.raw = initial_labels(g, self.policy);
+        arena.intern();
+        visit(0, &arena.table, &arena.dense);
+        for round in 1..=self.iterations {
+            arena.relabel(g, self.edge_sensitive);
+            arena.intern();
+            visit(round as usize, &arena.table, &arena.dense);
+        }
+    }
+
+    /// The label sequence over all rounds (round 0 = initial labels).
+    /// Exposed for tests and for the root-cause machinery, which needs
+    /// per-node WL labels rather than aggregated counts.
+    pub fn label_rounds(&self, g: &EventGraph) -> Vec<Vec<u64>> {
+        let mut rounds = Vec::with_capacity(self.iterations as usize + 1);
+        self.for_each_round(g, |_, table, dense| {
+            rounds.push(dense.iter().map(|&d| table[d as usize]).collect());
+        });
+        rounds
+    }
+}
+
+impl GraphKernel for WlKernel {
+    fn name(&self) -> String {
+        format!(
+            "wl(h={},{:?}{})",
+            self.iterations,
+            self.policy,
+            if self.edge_sensitive { ",edges" } else { "" }
+        )
+    }
+
+    fn features(&self, g: &EventGraph) -> SparseFeatures {
+        let mut pairs: Vec<(u64, f64)> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        self.for_each_round(g, |round, table, dense| {
+            // One histogram entry per *distinct* label, not per node: adding
+            // the count `c` once equals adding 1.0 `c` times exactly
+            // (integer f64 arithmetic below 2^53), and the canonical `u64`
+            // feature key is expanded from the table only here.
+            counts.clear();
+            counts.resize(table.len(), 0);
+            for &d in dense {
+                counts[d as usize] += 1;
+            }
+            for (d, &c) in counts.iter().enumerate() {
+                // Salt the label with the round index so the same hash at
+                // different rounds is a different feature (standard WL).
+                pairs.push((fnv1a_words(&[round as u64, table[d]]), c as f64));
+            }
+        });
+        // Bulk build: one sort over all rounds' (key, count) pairs instead
+        // of a map insert per key — the keys are hashes, so insertion order
+        // is random and per-key inserts would miss cache on nearly all of
+        // them. Counts are exact integers, so duplicate keys (cross-round
+        // hash collisions) may sum in any order without changing a bit.
+        SparseFeatures::from_commutative_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::kernel_distance;
+    use anacin_event_graph::EventGraph;
+    use anacin_mpisim::prelude::*;
+
+    /// The pre-interner relabelling round, verbatim: the differential
+    /// oracle for the arena/interner implementation above.
+    fn relabel_legacy(g: &EventGraph, labels: &[u64], edge_sensitive: bool) -> Vec<u64> {
         let contrib = |label: u64, kind: EdgeKind| -> u64 {
             if edge_sensitive {
                 let k = match kind {
@@ -83,63 +359,36 @@ impl WlKernel {
             );
             scratch_in.sort_unstable();
             scratch_out.sort_unstable();
-            // Combine: own label, separator, in-multiset, separator,
-            // out-multiset. The separators prevent ambiguity between the
-            // two neighbourhoods.
             let mut words = Vec::with_capacity(scratch_in.len() + scratch_out.len() + 3);
             words.push(labels[id.index()]);
-            words.push(u64::MAX); // separator
+            words.push(u64::MAX);
             words.extend_from_slice(&scratch_in);
-            words.push(u64::MAX - 1); // separator
+            words.push(u64::MAX - 1);
             words.extend_from_slice(&scratch_out);
             next.push(fnv1a_words(&words));
         }
         next
     }
 
-    /// The label sequence over all rounds (round 0 = initial labels).
-    /// Exposed for tests and for the root-cause machinery, which needs
-    /// per-node WL labels rather than aggregated counts.
-    pub fn label_rounds(&self, g: &EventGraph) -> Vec<Vec<u64>> {
-        let mut rounds = Vec::with_capacity(self.iterations as usize + 1);
-        rounds.push(initial_labels(g, self.policy));
-        for _ in 0..self.iterations {
-            let next = Self::relabel(g, rounds.last().expect("nonempty"), self.edge_sensitive);
+    fn label_rounds_legacy(k: &WlKernel, g: &EventGraph) -> Vec<Vec<u64>> {
+        let mut rounds = Vec::with_capacity(k.iterations as usize + 1);
+        rounds.push(initial_labels(g, k.policy));
+        for _ in 0..k.iterations {
+            let next = relabel_legacy(g, rounds.last().expect("nonempty"), k.edge_sensitive);
             rounds.push(next);
         }
         rounds
     }
-}
 
-impl GraphKernel for WlKernel {
-    fn name(&self) -> String {
-        format!(
-            "wl(h={},{:?}{})",
-            self.iterations,
-            self.policy,
-            if self.edge_sensitive { ",edges" } else { "" }
-        )
-    }
-
-    fn features(&self, g: &EventGraph) -> SparseFeatures {
+    fn features_legacy(k: &WlKernel, g: &EventGraph) -> SparseFeatures {
         let mut f = SparseFeatures::new();
-        for (round, labels) in self.label_rounds(g).into_iter().enumerate() {
+        for (round, labels) in label_rounds_legacy(k, g).into_iter().enumerate() {
             for l in labels {
-                // Salt the label with the round index so the same hash at
-                // different rounds is a different feature (standard WL).
                 f.bump(fnv1a_words(&[round as u64, l]));
             }
         }
         f
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::distance::kernel_distance;
-    use anacin_event_graph::EventGraph;
-    use anacin_mpisim::prelude::*;
 
     fn race_graph(n: u32, nd: f64, seed: u64) -> EventGraph {
         let mut b = ProgramBuilder::new(n);
@@ -151,6 +400,69 @@ mod tests {
         }
         let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
         EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn word_hasher_matches_fnv1a_words() {
+        for words in [
+            &[][..],
+            &[0u64][..],
+            &[1, 2, 3][..],
+            &[u64::MAX, 0, u64::MAX - 1, 42][..],
+        ] {
+            let mut h = WordHasher::new();
+            for &w in words {
+                h.absorb(w);
+            }
+            assert_eq!(h.finish(), fnv1a_words(words));
+        }
+    }
+
+    #[test]
+    fn interned_features_match_legacy_oracle() {
+        // The full configuration sweep: every label policy, both edge
+        // modes, several iteration depths, deterministic and racy graphs.
+        let policies = [
+            LabelPolicy::EventType,
+            LabelPolicy::TypeAndPeer,
+            LabelPolicy::RankAndType,
+            LabelPolicy::RankTypePeer,
+            LabelPolicy::Callstack,
+        ];
+        for seed in 0..4 {
+            let g = race_graph(5, 100.0, seed);
+            for policy in policies {
+                for edge_sensitive in [false, true] {
+                    for iterations in [0, 1, 3, 5] {
+                        let k = WlKernel {
+                            iterations,
+                            policy,
+                            edge_sensitive,
+                        };
+                        assert_eq!(
+                            k.features(&g),
+                            features_legacy(&k, &g),
+                            "policy={policy:?} edges={edge_sensitive} h={iterations}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_label_rounds_match_legacy_oracle() {
+        for seed in 0..4 {
+            let g = race_graph(6, 100.0, seed);
+            for edge_sensitive in [false, true] {
+                let k = WlKernel {
+                    iterations: 4,
+                    policy: LabelPolicy::TypeAndPeer,
+                    edge_sensitive,
+                };
+                assert_eq!(k.label_rounds(&g), label_rounds_legacy(&k, &g));
+            }
+        }
     }
 
     #[test]
@@ -268,6 +580,15 @@ mod tests {
         // Round 1 must refine round 0: at least as many distinct labels.
         let distinct = |v: &Vec<u64>| v.iter().collect::<std::collections::HashSet<_>>().len();
         assert!(distinct(&rounds[1]) >= distinct(&rounds[0]));
+    }
+
+    #[test]
+    fn empty_graph_features_are_empty() {
+        let b = ProgramBuilder::new(1);
+        let t = simulate(&b.build(), &SimConfig::with_nd_percent(0.0, 0)).unwrap();
+        let g = EventGraph::from_trace(&t);
+        let k = WlKernel::default();
+        assert_eq!(k.features(&g), features_legacy(&k, &g));
     }
 
     #[test]
