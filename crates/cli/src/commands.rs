@@ -11,6 +11,7 @@ use anacin_mpisim::prelude::*;
 use anacin_obs::{MetricsRegistry, Tracer};
 use anacin_store::ArtifactStore;
 use anacin_viz::{ascii, svg};
+use serde::Serialize;
 use std::io::Write as _;
 
 const HELP: &str = "\
@@ -33,6 +34,14 @@ COMMANDS
               [--store DIR]  run incrementally against a content-addressed
                              artifact store: reuse every stored trace/graph/
                              feature vector, publish what was recomputed
+              [--explore]  also enumerate the schedule space (partial-order
+                           reduced DFS), replay every distinct schedule and
+                           report the true worst-case distance + how much
+                           of the space the sample covered
+              [--schedule-budget N]  explored-schedule cap (default 4096)
+  explore     schedule-space enumeration statistics
+              anacin explore stats --pattern … --procs N [--iterations N]
+              [--schedule-budget N] [--brute-force] [--json] [--metrics FILE]
   graph       render one run's event graph
               --pattern … --procs N --nd P --seed S
               --format ascii|dot|graphml|json|svg  [--out FILE]
@@ -100,6 +109,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Some("run") | Some("campaign") => cmd_run(args),
+        Some("explore") => cmd_explore(args),
         Some("store") => cmd_store(args),
         Some("bench") => cmd_bench(args),
         Some("graph") => cmd_graph(args),
@@ -195,6 +205,30 @@ fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
     Ok(())
 }
 
+/// The explore bounds a command line asked for.
+fn explore_config_of(args: &Args) -> Result<ExploreConfig, String> {
+    let mut xcfg = ExploreConfig::with_budget(args.get_parsed("schedule-budget", 4096usize)?);
+    if args.flag("brute-force") {
+        xcfg = xcfg.brute_force();
+    }
+    Ok(xcfg)
+}
+
+/// The explore half of a `run --explore --json` payload.
+#[derive(Serialize)]
+struct ExploreSection {
+    config: ExploreConfig,
+    stats: ExploreStats,
+    coverage: ExploreCoverage,
+}
+
+/// `run --explore --json`: the sampled measurement plus the enumeration.
+#[derive(Serialize)]
+struct RunWithExploreReport {
+    measurement: MeasurementReport,
+    explore: ExploreSection,
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = campaign_of(args)?;
     let metrics = metrics_of(args);
@@ -209,30 +243,53 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
         reg.attach_tracer(t);
     }
-    let result = match args.get("store") {
+    let store = match args.get("store") {
         Some(dir) => {
             let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
             if let Some(reg) = &reg {
                 store.attach_metrics(reg);
             }
-            let r = run_campaign_incremental_observed(
-                &cfg,
-                &store,
-                reg.as_ref(),
-                tracer.as_ref().map(|(_, t)| t),
-                0,
-            )
-            .map_err(|e| e.to_string())?;
-            let a = store.activity();
-            eprintln!(
-                "store {dir}: {} hit(s), {} miss(es), {} publish(es)",
-                a.hits, a.misses, a.puts
-            );
-            r
+            Some((dir.to_string(), store))
         }
+        None => None,
+    };
+    let result = match &store {
+        Some((_, store)) => run_campaign_incremental_observed(
+            &cfg,
+            store,
+            reg.as_ref(),
+            tracer.as_ref().map(|(_, t)| t),
+            0,
+        )
+        .map_err(|e| e.to_string())?,
         None => run_campaign_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
             .map_err(|e| e.to_string())?,
     };
+    // `--explore`: enumerate the schedule space of the same setting and
+    // relate the sample to it (worst case, coverage, containment).
+    let explored = if args.flag("explore") {
+        let xcfg = explore_config_of(args)?;
+        let xr = match &store {
+            Some((_, store)) => {
+                explore_campaign_incremental_observed(&cfg, &xcfg, store, reg.as_ref())
+                    .map_err(|e| e.to_string())?
+            }
+            None => {
+                explore_campaign_observed(&cfg, &xcfg, reg.as_ref()).map_err(|e| e.to_string())?
+            }
+        };
+        let coverage = xr.coverage_of(&result);
+        Some((xcfg, xr, coverage))
+    } else {
+        None
+    };
+    if let Some((dir, store)) = &store {
+        let a = store.activity();
+        eprintln!(
+            "store {dir}: {} hit(s), {} miss(es), {} publish(es)",
+            a.hits, a.misses, a.puts
+        );
+    }
     if let Some((path, reg)) = &metrics {
         write_metrics(path, reg)?;
     }
@@ -242,10 +299,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let m = NdMeasurement::from_campaign(format!("{} @ {}%", cfg.pattern, cfg.nd_percent), &result);
     if args.flag("json") {
         let rep = MeasurementReport::from(&m);
-        println!(
-            "{}",
-            anacin_core::report::to_json(&rep).map_err(|e| e.to_string())?
-        );
+        let json = match &explored {
+            Some((xcfg, xr, coverage)) => anacin_core::report::to_json(&RunWithExploreReport {
+                measurement: rep,
+                explore: ExploreSection {
+                    config: *xcfg,
+                    stats: xr.report.stats,
+                    coverage: *coverage,
+                },
+            }),
+            None => anacin_core::report::to_json(&rep),
+        }
+        .map_err(|e| e.to_string())?;
+        println!("{json}");
         return Ok(());
     }
     println!(
@@ -262,7 +328,113 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let Some(v) = m.violin() {
         print!("{}", ascii::violins(&[v], 48));
     }
+    if let Some((xcfg, xr, cov)) = &explored {
+        let st = &xr.report.stats;
+        println!(
+            "explored {} distinct schedule(s) ({}) — branches={} pruned={} deadlocks={}",
+            st.schedules,
+            if xr.report.is_complete() {
+                "complete enumeration".to_string()
+            } else {
+                format!("truncated at budget {}", xcfg.max_schedules)
+            },
+            st.branches,
+            st.pruned + st.dropped,
+            st.deadlocks
+        );
+        println!(
+            "schedule coverage: sample hit {}/{} schedule(s) over {} run(s) ({:.0}%)",
+            cov.overlap,
+            cov.explored,
+            cov.sampled_runs,
+            cov.fraction * 100.0
+        );
+        println!(
+            "worst case: sampled max={:.4}, explored max={:.4}{}{}",
+            cov.sampled_max,
+            cov.explored_max,
+            if cov.complete {
+                " (true worst case)"
+            } else {
+                " (lower bound)"
+            },
+            // Containment is only an oracle when the walk was complete;
+            // under a budget, samples landing outside the set is expected.
+            if cov.covered {
+                ""
+            } else if cov.complete {
+                " — CONTAINMENT VIOLATED: a sampled schedule escaped the enumeration"
+            } else {
+                " — sample reached schedules beyond the truncated enumeration"
+            }
+        );
+    }
     Ok(())
+}
+
+/// `explore stats --json` payload: setting, bounds, and walk statistics.
+#[derive(Serialize)]
+struct ExploreStatsReport {
+    pattern: String,
+    procs: u32,
+    iterations: u32,
+    config: ExploreConfig,
+    complete: bool,
+    stats: ExploreStats,
+    schedule_ids: Vec<String>,
+}
+
+fn cmd_explore(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("stats") => {
+            let pattern = pattern_of(args)?;
+            let mut app = MiniAppConfig::with_procs(args.get_parsed("procs", 4)?);
+            app.iterations = args.get_parsed("iterations", 1u32)?;
+            let program = pattern.build(&app);
+            let xcfg = explore_config_of(args)?;
+            let metrics = metrics_of(args);
+            let report = explore_observed(&program, &xcfg, metrics.as_ref().map(|(_, r)| r));
+            if let Some((path, reg)) = &metrics {
+                write_metrics(path, reg)?;
+            }
+            if args.flag("json") {
+                let rep = ExploreStatsReport {
+                    pattern: pattern.to_string(),
+                    procs: app.procs,
+                    iterations: app.iterations,
+                    config: xcfg,
+                    complete: report.is_complete(),
+                    stats: report.stats,
+                    schedule_ids: report.ids().iter().map(|id| id.to_string()).collect(),
+                };
+                println!(
+                    "{}",
+                    anacin_core::report::to_json(&rep).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            let st = &report.stats;
+            println!(
+                "pattern={} procs={} iterations={} prune={}",
+                pattern, app.procs, app.iterations, xcfg.prune
+            );
+            println!(
+                "schedule space: {} distinct schedule(s) ({})",
+                st.schedules,
+                if report.is_complete() {
+                    "complete enumeration"
+                } else {
+                    "truncated — counts are lower bounds"
+                }
+            );
+            println!(
+                "branches={} pruned={} dropped={} terminals={} deadlocks={}",
+                st.branches, st.pruned, st.dropped, st.terminals, st.deadlocks
+            );
+            Ok(())
+        }
+        _ => Err("explore requires an action: 'stats'".to_string()),
+    }
 }
 
 fn single_graph(args: &Args) -> Result<EventGraph, String> {

@@ -103,7 +103,7 @@ fn absorb_json<T: serde::Serialize>(h: &mut FingerprintHasher, label: &str, valu
 
 /// Absorb the per-run semantic inputs shared by every run-level key:
 /// everything that determines the bytes of a trace except the seed.
-fn absorb_setting(h: &mut FingerprintHasher, config: &CampaignConfig) {
+pub(crate) fn absorb_setting(h: &mut FingerprintHasher, config: &CampaignConfig) {
     h.write_u32(KEY_SCHEMA);
     absorb_json(h, "pattern", &config.pattern);
     absorb_json(h, "app", &config.app);
@@ -154,7 +154,7 @@ pub fn campaign_fingerprint(config: &CampaignConfig) -> Fingerprint {
 
 /// Fetch an artifact, treating damage as a clean miss so the caller
 /// recomputes and overwrites it (self-healing). Only I/O errors propagate.
-fn get_or_heal<A: Artifact>(
+pub(crate) fn get_or_heal<A: Artifact>(
     store: &ArtifactStore,
     fp: Fingerprint,
 ) -> Result<Option<A>, StoreError> {

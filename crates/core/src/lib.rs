@@ -31,6 +31,7 @@
 pub mod ablation;
 pub mod campaign;
 pub mod config;
+pub mod explore;
 pub mod incremental;
 pub mod measure;
 pub mod report;
@@ -45,6 +46,10 @@ pub mod prelude {
         run_traces_observed, run_traces_with_metrics, CampaignError, CampaignResult,
     };
     pub use crate::config::{default_threads, CampaignConfig, GramSchedule, KernelChoice};
+    pub use crate::explore::{
+        explore_campaign, explore_campaign_incremental, explore_campaign_incremental_observed,
+        explore_campaign_observed, explore_fingerprint, ExploreCampaignResult, ExploreCoverage,
+    };
     pub use crate::incremental::{
         campaign_fingerprint, features_fingerprint, run_campaign_incremental,
         run_campaign_incremental_observed, run_campaign_incremental_with_metrics, run_fingerprint,

@@ -53,6 +53,7 @@ pub mod artifact;
 pub mod collectives;
 pub mod counters;
 pub mod engine;
+pub mod explore;
 pub mod matching;
 pub mod network;
 pub mod ops;
@@ -69,6 +70,10 @@ pub mod prelude {
     pub use crate::engine::{
         simulate, simulate_counted, simulate_replay, simulate_traced, simulate_traced_counted,
         SimConfig, SimError,
+    };
+    pub use crate::explore::{
+        explore, explore_observed, simulate_scheduled, ExploreConfig, ExploreReport, ExploreStats,
+        Schedule, ScheduleId,
     };
     pub use crate::network::{DelayDistribution, NetworkConfig};
     pub use crate::program::{BalanceError, Program, ProgramBuilder, RequestError};

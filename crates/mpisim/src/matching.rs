@@ -88,7 +88,15 @@ impl PostedRecv {
 }
 
 /// Per-destination matching state.
-#[derive(Debug, Default)]
+///
+/// Determinism audit (schedule explorer prerequisite): both queues are
+/// `VecDeque`s scanned front-to-back, so iteration order is insertion
+/// order by construction — there is no hash-map (or other
+/// iteration-order-unstable container) anywhere in the matching path, and
+/// mid-queue removal via `remove(pos)` preserves the relative order of
+/// the survivors. `Clone` is derived so the explorer can snapshot a
+/// destination's matching state at each branch point.
+#[derive(Debug, Default, Clone)]
 pub struct MatchEngine {
     unexpected: VecDeque<InFlightMsg>,
     posted: VecDeque<PostedRecv>,
@@ -259,6 +267,58 @@ mod tests {
         let left: Vec<_> = e.drain_unexpected().collect();
         assert_eq!(left.len(), 2);
         assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn mid_queue_removal_preserves_scan_order() {
+        // Regression for the determinism audit: consuming an element from
+        // the middle of either queue must leave the remaining elements in
+        // their original relative order, or replay and exploration would
+        // silently diverge from free runs.
+        let mut e = MatchEngine::new();
+        e.on_arrival(msg(1, 1, 0, 10));
+        e.on_arrival(msg(2, 2, 0, 11));
+        e.on_arrival(msg(3, 3, 0, 12));
+        // Take the middle message (tag 2) out of the unexpected queue…
+        let (_, m) = e.on_post(recv(SrcSpec::Any, TagSpec::Tag(Tag(2)))).unwrap();
+        assert_eq!(m.src, Rank(2));
+        // …then wildcard posts must still see 1 before 3.
+        let (_, a) = e.on_post(recv(SrcSpec::Any, TagSpec::Any)).unwrap();
+        let (_, b) = e.on_post(recv(SrcSpec::Any, TagSpec::Any)).unwrap();
+        assert_eq!((a.src, b.src), (Rank(1), Rank(3)));
+
+        // Same property for the posted queue: match the middle receive…
+        let mut e = MatchEngine::new();
+        assert!(e
+            .on_post(recv(SrcSpec::Rank(Rank(1)), TagSpec::Any))
+            .is_none());
+        assert!(e
+            .on_post(recv(SrcSpec::Rank(Rank(2)), TagSpec::Any))
+            .is_none());
+        assert!(e.on_post(recv(SrcSpec::Any, TagSpec::Any)).is_none());
+        let (r, _) = e.on_arrival(msg(2, 0, 0, 5)).unwrap();
+        assert_eq!(r.src, SrcSpec::Rank(Rank(2)));
+        // …and an untargeted message must still prefer the earlier post.
+        let (r, _) = e.on_arrival(msg(1, 0, 0, 6)).unwrap();
+        assert_eq!(r.src, SrcSpec::Rank(Rank(1)));
+        assert_eq!(e.posted_len(), 1);
+    }
+
+    #[test]
+    fn cloned_engine_is_independent_and_identical() {
+        let mut e = MatchEngine::new();
+        e.on_arrival(msg(1, 0, 0, 10));
+        assert!(e
+            .on_post(recv(SrcSpec::Any, TagSpec::Tag(Tag(9))))
+            .is_none());
+        let mut snap = e.clone();
+        assert_eq!(snap.unexpected_len(), e.unexpected_len());
+        assert_eq!(snap.posted_len(), e.posted_len());
+        // Mutating the clone leaves the original untouched.
+        let got = snap.on_post(recv(SrcSpec::Any, TagSpec::Any));
+        assert!(got.is_some());
+        assert_eq!(snap.unexpected_len(), 0);
+        assert_eq!(e.unexpected_len(), 1);
     }
 
     #[test]

@@ -53,6 +53,17 @@ impl MatchRecord {
         MatchRecord { decisions }
     }
 
+    /// Build a record directly from decision vectors (the schedule
+    /// explorer's path from an enumerated schedule back into the engine).
+    pub(crate) fn from_decisions(decisions: Vec<Vec<Option<(Rank, ChannelSeq)>>>) -> Self {
+        MatchRecord { decisions }
+    }
+
+    /// The raw decision vectors (schedule fingerprinting).
+    pub(crate) fn into_decisions(self) -> Vec<Vec<Option<(Rank, ChannelSeq)>>> {
+        self.decisions
+    }
+
     /// The decision for the receive posted `ordinal`-th by `rank`, if
     /// recorded.
     pub fn matched(&self, rank: Rank, ordinal: usize) -> Option<(Rank, ChannelSeq)> {

@@ -35,8 +35,8 @@ pub mod prelude {
     pub use crate::generator::{generate, GenConfig, GeneratedProgram, RoundKind};
     pub use crate::oracles::{
         check_generated, check_seed, oracle_bit_reproducibility, oracle_kernel_axioms,
-        oracle_nd0_seed_invariance, oracle_replay_zero_distance, oracle_thread_invariance,
-        OracleSummary,
+        oracle_nd0_seed_invariance, oracle_replay_zero_distance, oracle_schedule_exhaustiveness,
+        oracle_thread_invariance, OracleSummary,
     };
     pub use crate::validate::{validate_replay_alignment, validate_trace, ValidationReport};
 }
@@ -133,6 +133,46 @@ mod tests {
         for seed in 0..5000u64 {
             check_seed(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
+    }
+
+    /// Nightly-tier exhaustiveness sweep: 500 small generated programs,
+    /// each checked under [`oracle_schedule_exhaustiveness`] — a complete
+    /// `mpisim::explore` enumeration must contain the schedule of every
+    /// sampled run, and explored schedules must replay to themselves.
+    /// Programs whose walk truncates are skipped (and counted, so the
+    /// sweep fails loudly if it stops asserting anything at all).
+    #[test]
+    #[ignore = "nightly sweep; run with `cargo test --release -- --ignored`"]
+    fn nightly_schedule_exhaustiveness_sweep() {
+        let mut truncated = 0usize;
+        for seed in 0..500u64 {
+            // Small pure-p2p shapes: big enough to race, small enough
+            // that the default budgets enumerate completely.
+            let cfg = GenConfig {
+                world_size: 2 + (seed % 3) as u32,
+                rounds: 1 + (seed / 3 % 2) as u32,
+                max_sends: 1 + (seed / 7 % 2) as u32,
+                wildcard_prob: (seed % 11) as f64 / 10.0,
+                nonblocking_prob: (seed % 7) as f64 / 6.0,
+                collective_prob: 0.0,
+                exchange_prob: 0.0,
+                chaos_prob: if seed % 5 == 0 { 0.3 } else { 0.0 },
+                seed,
+            };
+            let gp = generate(&cfg);
+            let sample: Vec<u64> = (0..20)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect();
+            match oracle_schedule_exhaustiveness(&gp.program, &sample, &ExploreConfig::default()) {
+                Ok(Some(_)) => {}
+                Ok(None) => truncated += 1,
+                Err(e) => panic!("seed {seed}: {e}"),
+            }
+        }
+        assert!(
+            truncated < 250,
+            "{truncated}/500 programs truncated — the sweep is asserting too little"
+        );
     }
 
     #[test]

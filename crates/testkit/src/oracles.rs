@@ -16,7 +16,10 @@
 //! * **kernel-distance axioms** — for every kernel in `anacin-kernels`,
 //!   `d(g, g) = 0`, `d(g, h) = d(h, g)`, `d(g, h) >= 0`;
 //! * **thread invariance** — Gram matrices are identical whatever worker
-//!   thread count computed them.
+//!   thread count computed them;
+//! * **schedule exhaustiveness** — a complete `mpisim::explore`
+//!   enumeration contains the schedule realised by every sampled run, and
+//!   explored schedules replay through the engine to their own ids.
 
 use crate::generator::{generate, GenConfig, GeneratedProgram};
 use crate::validate::{validate_replay_alignment, validate_trace, ValidationReport};
@@ -156,6 +159,49 @@ pub fn oracle_kernel_axioms(graphs: &[EventGraph]) -> Result<usize, String> {
         }
     }
     Ok(checked)
+}
+
+/// A complete schedule-space enumeration contains the schedule realised
+/// by **every** sampled run — `mpisim::explore` is exhaustive, not just
+/// sound. Returns `Ok(None)` when a budget truncated the walk (nothing
+/// can be asserted about an incomplete set), otherwise `Ok(Some(n))`
+/// with the size of the enumerated space. Seeds whose free run deadlocks
+/// are skipped: the oracle constrains only runs that complete.
+pub fn oracle_schedule_exhaustiveness(
+    p: &Program,
+    seeds: &[u64],
+    xcfg: &ExploreConfig,
+) -> Result<Option<usize>, String> {
+    let report = explore(p, xcfg);
+    if !report.is_complete() {
+        return Ok(None);
+    }
+    let ids: std::collections::HashSet<u64> = report.schedules.iter().map(|s| s.id().0).collect();
+    for &seed in seeds {
+        let Ok(t) = simulate(p, &SimConfig::with_nd_percent(100.0, seed)) else {
+            continue;
+        };
+        let id = Schedule::from_trace(&t).id();
+        if !ids.contains(&id.0) {
+            return Err(format!(
+                "seed {seed} realised schedule {id} missing from a complete \
+                 enumeration of {} schedule(s)",
+                ids.len()
+            ));
+        }
+    }
+    // Round-trip spot check: the first explored schedule replays through
+    // the real engine back to its own fingerprint.
+    if let Some(s) = report.schedules.first() {
+        let seed = seeds.first().copied().unwrap_or(1);
+        let t = simulate_scheduled(p, &SimConfig::with_nd_percent(100.0, seed), s)
+            .map_err(|e| format!("replaying an explored schedule failed: {e:?}"))?;
+        let rt = Schedule::from_trace(&t).id();
+        if rt != s.id() {
+            return Err(format!("explored schedule {} replayed to {rt}", s.id()));
+        }
+    }
+    Ok(Some(report.schedules.len()))
 }
 
 /// Gram matrices must not depend on the worker thread count.
