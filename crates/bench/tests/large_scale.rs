@@ -1,0 +1,49 @@
+//! Nightly end-to-end scale gate: a 1024-rank amg2013 campaign with tens
+//! of millions of events must complete through the streaming path, with
+//! peak memory bounded to a few in-flight runs rather than the whole
+//! sample. `#[ignore]`d — the nightly CI job runs
+//! `cargo test --release -- --ignored`.
+
+use anacin_bench::{peak_rss_mib, reset_peak_rss};
+use anacin_core::prelude::*;
+use anacin_miniapps::Pattern;
+
+/// Peak-RSS ceiling for the streaming 1024-rank campaign. Measured at
+/// ~2.6 GiB (3 worker threads × one in-flight trace+graph each); the
+/// ceiling leaves allocator/machine headroom while still failing hard if
+/// the path ever rematerialises the whole sample.
+const PEAK_RSS_CEILING_MIB: f64 = 6144.0;
+
+#[test]
+#[ignore = "nightly: ~1 minute and a few GiB at 1024 ranks"]
+fn campaign_at_1024_ranks_streams_within_memory_budget() {
+    let cfg = CampaignConfig::new(Pattern::Amg2013, 1024).runs(3);
+    let watermark_reset = reset_peak_rss();
+    let r = run_campaign_streaming(&cfg).expect("1024-rank campaign must complete");
+    // Scale bar: two all-to-all phases per run at 1024 ranks is ~4.2M
+    // events per run, ~12.6M per campaign.
+    assert!(
+        r.total_events >= 10_000_000,
+        "campaign must span >=10M events, got {}",
+        r.total_events
+    );
+    assert_eq!(r.matrix.len(), 3);
+    for d in r.distance_sample() {
+        assert!(d.is_finite() && d >= 0.0, "distance {d}");
+    }
+    assert!(
+        r.mean_distance() > 0.0,
+        "100% ND all-to-all must measure ND"
+    );
+    // The memory bound only means something when the watermark could be
+    // reset to exclude whatever ran before this test; skip it otherwise
+    // (non-Linux, or /proc/self/clear_refs not writable).
+    if watermark_reset {
+        if let Some(peak) = peak_rss_mib() {
+            assert!(
+                peak < PEAK_RSS_CEILING_MIB,
+                "peak RSS {peak:.0} MiB exceeds the {PEAK_RSS_CEILING_MIB:.0} MiB streaming budget"
+            );
+        }
+    }
+}

@@ -34,6 +34,10 @@ COMMANDS
               [--store DIR]  run incrementally against a content-addressed
                              artifact store: reuse every stored trace/graph/
                              feature vector, publish what was recomputed
+              [--stream]  bounded-memory campaign: drop each run's trace and
+                          graph once its features exist (1024-rank scale);
+                          measurement bit-identical to the default path
+                          (incompatible with --store and --explore)
               [--explore]  also enumerate the schedule space (partial-order
                            reduced DFS), replay every distinct schedule and
                            report the true worst-case distance + how much
@@ -60,6 +64,9 @@ COMMANDS
   bench       performance baselines
               anacin bench baseline [--procs N] [--runs N] [--samples N]
               [--out FILE]  (default BENCH_baseline.json)
+              anacin bench baseline --scale large  1024-rank streaming
+              tier: per-stage timings + peak RSS → BENCH_large.json
+              [--procs N] [--runs N] [--iterations N] [--out FILE]
   root-cause  callstack ranking for a campaign
               --pattern … --procs N --runs N  [--slices K] [--top FRAC]
   replay      record/replay demonstration (ReMPI-style)
@@ -229,7 +236,78 @@ struct RunWithExploreReport {
     explore: ExploreSection,
 }
 
+/// `run --stream`: the bounded-memory campaign path. Each run's trace and
+/// graph are dropped as soon as its feature vector exists, so the
+/// measurement fits in a per-worker footprint at 1024-rank scale. The
+/// printed measurement (and `--json` payload) is byte-identical to the
+/// materialised path's: the matrix is bit-identical by construction.
+fn cmd_run_streaming(args: &Args) -> Result<(), String> {
+    if args.get("store").is_some() {
+        return Err(
+            "--stream keeps no traces or graphs to publish; drop --stream or --store".into(),
+        );
+    }
+    if args.flag("explore") {
+        return Err(
+            "--explore compares coverage against the materialised sample; drop --stream or --explore"
+                .into(),
+        );
+    }
+    let cfg = campaign_of(args)?;
+    let metrics = metrics_of(args);
+    let tracer = tracer_of(args)?;
+    let reg = match (&metrics, &tracer) {
+        (Some((_, reg)), _) => Some(reg.clone()),
+        (None, Some(_)) => Some(MetricsRegistry::new()),
+        (None, None) => None,
+    };
+    if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
+        reg.attach_tracer(t);
+    }
+    let result =
+        run_campaign_streaming_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
+            .map_err(|e| e.to_string())?;
+    if let Some((path, reg)) = &metrics {
+        write_metrics(path, reg)?;
+    }
+    if let Some((path, t)) = &tracer {
+        write_trace(path, t)?;
+    }
+    let m = NdMeasurement::from_matrix(
+        format!("{} @ {}%", cfg.pattern, cfg.nd_percent),
+        &result.matrix,
+    );
+    if args.flag("json") {
+        let rep = MeasurementReport::from(&m);
+        let json = anacin_core::report::to_json(&rep).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "pattern={} procs={} nd={}% runs={} iterations={}",
+        cfg.pattern, cfg.app.procs, cfg.nd_percent, cfg.runs, cfg.app.iterations
+    );
+    println!(
+        "kernel distance over {} run pairs: mean={:.4} median={:.4} std={:.4}",
+        m.distances.len(),
+        m.summary.mean,
+        m.summary.median,
+        m.summary.std_dev
+    );
+    eprintln!(
+        "streamed {} run(s): {} simulated event(s), {} graph node(s) (peak ≈ per-worker)",
+        cfg.runs, result.total_events, result.total_nodes
+    );
+    if let Some(v) = m.violin() {
+        print!("{}", ascii::violins(&[v], 48));
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
+    if args.flag("stream") {
+        return cmd_run_streaming(args);
+    }
     let cfg = campaign_of(args)?;
     let metrics = metrics_of(args);
     let tracer = tracer_of(args)?;
@@ -650,6 +728,26 @@ fn cmd_store(args: &Args) -> Result<(), String> {
 fn cmd_bench(args: &Args) -> Result<(), String> {
     match args.positional.first().map(String::as_str) {
         Some("baseline") => {
+            if let Some(scale) = args.get("scale") {
+                if scale != "large" {
+                    return Err(format!(
+                        "unknown bench scale '{scale}' (expected 'large'; omit --scale for the paper tier)"
+                    ));
+                }
+                let cfg = anacin_bench::LargeScaleConfig {
+                    procs: args.get_parsed("procs", 1024u32)?,
+                    runs: args.get_parsed("runs", 3u32)?,
+                    iterations: args.get_parsed("iterations", 1u32)?,
+                    base_seed: args.get_parsed("seed", 1u64)?,
+                };
+                let report = anacin_bench::run_large_baseline(&cfg);
+                print!("{}", report.render_table());
+                let path = args.get_or("out", "BENCH_large.json");
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+                return Ok(());
+            }
             let cfg = anacin_bench::BaselineConfig {
                 procs: args.get_parsed("procs", 32u32)?,
                 runs: args.get_parsed("runs", 10u32)?,

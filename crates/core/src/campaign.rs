@@ -7,7 +7,10 @@
 
 use crate::config::{CampaignConfig, GramSchedule};
 use anacin_event_graph::EventGraph;
-use anacin_kernels::matrix::{gram_matrix_with_metrics, KernelMatrix};
+use anacin_kernels::feature::SparseFeatures;
+use anacin_kernels::matrix::{
+    gram_from_features_with_metrics, gram_matrix_with_metrics, KernelMatrix,
+};
 use anacin_kernels::pipeline::gram_pipelined_with_metrics;
 use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
@@ -244,6 +247,170 @@ pub fn run_campaign_observed(
     })
 }
 
+/// The measurement of a streaming campaign: everything [`run_campaign`]
+/// produces *except* the per-run traces and graphs, which are dropped as
+/// soon as each run's feature vector exists. Peak memory is therefore one
+/// in-flight trace + graph per worker thread plus the (tiny) feature
+/// vectors, instead of every run's trace and graph at once — the
+/// difference between fitting a 1024-rank campaign in memory and not.
+pub struct StreamingCampaignResult {
+    /// The configuration that produced the result.
+    pub config: CampaignConfig,
+    /// The program all runs executed.
+    pub program: Program,
+    /// The kernel matrix over all runs.
+    pub matrix: KernelMatrix,
+    /// Total simulated trace events across all runs.
+    pub total_events: u64,
+    /// Total event-graph nodes across all runs.
+    pub total_nodes: u64,
+}
+
+impl StreamingCampaignResult {
+    /// The kernel-distance sample — identical to
+    /// [`CampaignResult::distance_sample`] for the same configuration.
+    pub fn distance_sample(&self) -> Vec<f64> {
+        self.matrix.pairwise_distances()
+    }
+
+    /// The scalar "measured amount of non-determinism".
+    pub fn mean_distance(&self) -> f64 {
+        self.matrix.mean_pairwise_distance()
+    }
+}
+
+/// Run a full campaign without materialising all traces and graphs:
+/// each run is simulated, graphed, and reduced to its feature vector in
+/// one pass, and the trace and graph are freed before the next run
+/// starts on that worker.
+///
+/// The matrix is bit-identical to [`run_campaign`]'s for the same
+/// configuration: per-run simulation, graph construction, and feature
+/// extraction are the exact same deterministic code, and the Gram stage
+/// reuses the pair-blocked schedule of
+/// [`gram_from_features_with_metrics`], which computes every `(i, j)`
+/// product once by the same expression regardless of thread count.
+pub fn run_campaign_streaming(
+    config: &CampaignConfig,
+) -> Result<StreamingCampaignResult, CampaignError> {
+    run_campaign_streaming_observed(config, None, None, 0)
+}
+
+/// [`run_campaign_streaming`] with optional metrics and timeline tracing,
+/// mirroring [`run_campaign_observed`]. Per-run pipeline work is recorded
+/// under a fused `campaign/stream` span (simulate → graph → features are
+/// interleaved per run, so the per-stage spans of the materialised path
+/// have no streaming equivalent); simulator, graph, and kernel counters
+/// keep their usual names.
+pub fn run_campaign_streaming_observed(
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+) -> Result<StreamingCampaignResult, CampaignError> {
+    let _campaign_span = metrics.map(|m| m.span("campaign"));
+    let program = config.pattern.build(&config.app);
+    let kernel = config.kernel.instantiate();
+    let runs = config.runs as usize;
+    let threads = config.threads.max(1).min(runs.max(1));
+    let next = AtomicUsize::new(0);
+    type RunOutcome = Result<(SparseFeatures, u64, u64), SimError>;
+    let results: Vec<Vec<(usize, RunOutcome)>> = {
+        let _s = metrics.map(|m| m.span("stream"));
+        let program = &program;
+        let kernel = kernel.as_ref();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let counters = metrics.map(SimCounters::new);
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= runs {
+                                break;
+                            }
+                            let sc = config.sim_config(i as u32);
+                            let t = tracer.map(|t| (t, run_base + i as u32));
+                            let outcome = simulate_traced_counted(
+                                program,
+                                &sc,
+                                metrics,
+                                t,
+                                counters.as_ref(),
+                            )
+                            .map(|trace| {
+                                let events = trace.total_events() as u64;
+                                let graph = EventGraph::from_trace_with_metrics(&trace, metrics);
+                                drop(trace);
+                                let nodes = graph.node_count() as u64;
+                                if let Some(m) = metrics {
+                                    m.counter("kernel/features").add(1);
+                                }
+                                (kernel.features(&graph), events, nodes)
+                            });
+                            local.push((i, outcome));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+    let mut feats: Vec<Option<SparseFeatures>> = (0..runs).map(|_| None).collect();
+    let (mut total_events, mut total_nodes) = (0u64, 0u64);
+    let mut failure: Option<CampaignError> = None;
+    for chunk in results {
+        for (i, r) in chunk {
+            match r {
+                Ok((f, events, nodes)) => {
+                    feats[i] = Some(f);
+                    total_events += events;
+                    total_nodes += nodes;
+                }
+                Err(source) => {
+                    let run = i as u32;
+                    if failure.as_ref().is_none_or(|f| run < f.run) {
+                        failure = Some(CampaignError {
+                            run,
+                            seed: config.sim_config(run).seed,
+                            source,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(f) = failure {
+        return Err(f);
+    }
+    let feats: Vec<SparseFeatures> = feats
+        .into_iter()
+        .map(|f| f.expect("all slots filled"))
+        .collect();
+    let matrix = {
+        let _s = metrics.map(|m| m.span("kernel"));
+        gram_from_features_with_metrics(&kernel.name(), &feats, config.threads, metrics)
+    };
+    if let Some(m) = metrics {
+        m.counter("campaign/runs").add(config.runs as u64);
+        let nan = anacin_stats::nan_count(&matrix.pairwise_distances());
+        m.counter("stats/nan_distances").add(nan as u64);
+    }
+    Ok(StreamingCampaignResult {
+        config: config.clone(),
+        program,
+        matrix,
+        total_events,
+        total_nodes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +548,89 @@ mod tests {
         assert!(report.counter("kernel/pipeline_tasks").is_none());
         let pipelined = run_campaign(&cfg.clone().schedule(GramSchedule::Pipelined)).unwrap();
         assert_eq!(r.matrix, pipelined.matrix);
+    }
+
+    #[test]
+    fn streaming_campaign_is_bit_identical_across_kernels_and_threads() {
+        // The streaming path must reproduce the materialised campaign's
+        // matrix bit for bit: every kernel choice, at every thread count.
+        use crate::config::KernelChoice;
+        use anacin_event_graph::LabelPolicy;
+        let kernels = [
+            KernelChoice::Wl {
+                iterations: 3,
+                policy: LabelPolicy::default(),
+            },
+            KernelChoice::Wl {
+                iterations: 1,
+                policy: LabelPolicy::RankTypePeer,
+            },
+            KernelChoice::VertexHistogram {
+                policy: LabelPolicy::EventType,
+            },
+            KernelChoice::EdgeHistogram {
+                policy: LabelPolicy::TypeAndPeer,
+            },
+            KernelChoice::ShortestPath {
+                policy: LabelPolicy::TypeAndPeer,
+                max_distance: 3,
+            },
+        ];
+        for kc in kernels {
+            let base_cfg = CampaignConfig::new(Pattern::MessageRace, 6)
+                .runs(6)
+                .kernel(kc);
+            let base = run_campaign(&base_cfg).unwrap();
+            for threads in [1, 2, 8] {
+                let mut cfg = base_cfg.clone();
+                cfg.threads = threads;
+                let s = run_campaign_streaming(&cfg).unwrap();
+                assert_eq!(s.matrix, base.matrix, "kernel={kc:?} threads={threads}");
+                assert_eq!(
+                    s.total_events,
+                    base.traces
+                        .iter()
+                        .map(|t| t.total_events() as u64)
+                        .sum::<u64>()
+                );
+                assert_eq!(
+                    s.total_nodes,
+                    base.graphs
+                        .iter()
+                        .map(|g| g.node_count() as u64)
+                        .sum::<u64>()
+                );
+                assert_eq!(s.distance_sample(), base.distance_sample());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_campaign_is_reproducible() {
+        let cfg = CampaignConfig::new(Pattern::UnstructuredMesh, 6).runs(6);
+        let a = run_campaign_streaming(&cfg).unwrap();
+        let b = run_campaign_streaming(&cfg).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.total_events, b.total_events);
+        assert_eq!(a.total_nodes, b.total_nodes);
+    }
+
+    #[test]
+    fn streaming_campaign_metrics_cover_stages() {
+        let reg = MetricsRegistry::new();
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6).runs(5);
+        let r = run_campaign_streaming_observed(&cfg, Some(&reg), None, 0).unwrap();
+        let report = reg.report();
+        for stage in ["campaign", "campaign/stream", "campaign/kernel"] {
+            assert!(report.span(stage).is_some(), "missing span {stage}");
+        }
+        assert_eq!(report.counter("campaign/runs"), Some(5));
+        assert_eq!(report.counter("sim/runs"), Some(5));
+        assert_eq!(report.counter("sim/events"), Some(r.total_events));
+        assert_eq!(report.counter("graph/nodes"), Some(r.total_nodes));
+        assert_eq!(report.counter("kernel/features"), Some(5));
+        assert_eq!(report.counter("kernel/dot_products"), Some(5 * 6 / 2));
+        assert_eq!(report.counter("stats/nan_distances"), Some(0));
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::ablation::{ablate, default_kernels, AblationReport, AblationRow};
     pub use crate::campaign::{
-        run_campaign, run_campaign_observed, run_campaign_with_metrics, run_traces,
+        run_campaign, run_campaign_observed, run_campaign_streaming,
+        run_campaign_streaming_observed, run_campaign_with_metrics, run_traces,
         run_traces_observed, run_traces_with_metrics, CampaignError, CampaignResult,
+        StreamingCampaignResult,
     };
     pub use crate::config::{default_threads, CampaignConfig, GramSchedule, KernelChoice};
     pub use crate::explore::{

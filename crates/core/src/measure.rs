@@ -19,7 +19,17 @@ pub struct NdMeasurement {
 impl NdMeasurement {
     /// Build from a finished campaign.
     pub fn from_campaign(label: impl Into<String>, result: &CampaignResult) -> NdMeasurement {
-        let distances = result.distance_sample();
+        Self::from_matrix(label, &result.matrix)
+    }
+
+    /// Build straight from a kernel matrix — the constructor the streaming
+    /// campaign path uses, since it retains no traces or graphs. Given the
+    /// same matrix, the measurement is identical to [`Self::from_campaign`].
+    pub fn from_matrix(
+        label: impl Into<String>,
+        matrix: &anacin_kernels::matrix::KernelMatrix,
+    ) -> NdMeasurement {
+        let distances = matrix.pairwise_distances();
         let summary = Summary::of(&distances).unwrap_or(Summary {
             n: 0,
             mean: 0.0,

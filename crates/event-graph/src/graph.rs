@@ -189,7 +189,8 @@ impl EventGraph {
         let mut nodes = Vec::with_capacity(trace.total_events());
         let mut rank_base = Vec::with_capacity(world as usize);
         for r in 0..world {
-            rank_base.push(nodes.len() as u32);
+            rank_base
+                .push(u32::try_from(nodes.len()).expect("event graph exceeds u32 node-id space"));
             for (i, ev) in trace.rank_events(Rank(r)).iter().enumerate() {
                 let kind = match ev.kind {
                     EventKind::Init => NodeKind::Init,
@@ -207,25 +208,72 @@ impl EventGraph {
             }
         }
         let n = nodes.len();
+        let _ = u32::try_from(n).expect("event graph exceeds u32 node-id space");
         let id_of = |eid: EventId| NodeId(rank_base[eid.rank.index()] + eid.idx);
-        // Edge list in the canonical order: every program edge first (rank
-        // by rank), then message edges in trace-iteration order. Per-node
-        // adjacency order is inherited from this list, so it is identical
-        // to the historical nested-Vec layout.
-        let mut edges: Vec<(u32, u32, EdgeKind)> = Vec::with_capacity(n);
+        // Streaming two-pass CSR construction: the trace itself is the
+        // edge list. Pass 1 counts per-node degrees, pass 2 fills targets
+        // through cursors — emitting edges in the canonical order (every
+        // program edge first, rank by rank, then message edges in
+        // trace-iteration order), so per-node adjacency is bit-identical
+        // to materialising the ordered edge list and feeding it through
+        // `build_csr_pair`, without ever allocating that list (a third of
+        // the build's former peak memory at tens of millions of events).
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
         for r in 0..world {
-            let base = rank_base[r as usize];
-            let len = trace.rank_events(Rank(r)).len() as u32;
+            let base = rank_base[r as usize] as usize;
+            let len = trace.rank_events(Rank(r)).len();
             for i in 0..len.saturating_sub(1) {
-                edges.push((base + i, base + i + 1, EdgeKind::Program));
+                out_offsets[base + i + 1] += 1;
+                in_offsets[base + i + 2] += 1;
             }
         }
         for (id, ev) in trace.iter() {
             if let EventKind::Recv { send_event, .. } = ev.kind {
-                edges.push((id_of(send_event).0, id_of(id).0, EdgeKind::Message));
+                out_offsets[id_of(send_event).index() + 1] += 1;
+                in_offsets[id_of(id).index() + 1] += 1;
             }
         }
-        let (out, incoming) = build_csr_pair(n, &edges);
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let edge_count = out_offsets[n] as usize;
+        let mut out_cursor: Vec<u32> = out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let filler = (NodeId(0), EdgeKind::Program);
+        let mut out_targets = vec![filler; edge_count];
+        let mut in_targets = vec![filler; edge_count];
+        let mut push = |f: u32, t: u32, k: EdgeKind| {
+            let oc = &mut out_cursor[f as usize];
+            out_targets[*oc as usize] = (NodeId(t), k);
+            *oc += 1;
+            let ic = &mut in_cursor[t as usize];
+            in_targets[*ic as usize] = (NodeId(f), k);
+            *ic += 1;
+        };
+        for r in 0..world {
+            let base = rank_base[r as usize];
+            let len = trace.rank_events(Rank(r)).len() as u32;
+            for i in 0..len.saturating_sub(1) {
+                push(base + i, base + i + 1, EdgeKind::Program);
+            }
+        }
+        for (id, ev) in trace.iter() {
+            if let EventKind::Recv { send_event, .. } = ev.kind {
+                push(id_of(send_event).0, id_of(id).0, EdgeKind::Message);
+            }
+        }
+        let (out, incoming) = (
+            CsrEdges {
+                offsets: out_offsets,
+                targets: out_targets,
+            },
+            CsrEdges {
+                offsets: in_offsets,
+                targets: in_targets,
+            },
+        );
         let graph = EventGraph {
             world_size: world,
             nodes,
@@ -494,6 +542,60 @@ mod tests {
                 assert_eq!(g.out_edges(id), &out[id.index()][..], "out {id:?}");
                 assert_eq!(g.in_edges(id), &inc[id.index()][..], "in {id:?}");
             }
+        }
+    }
+
+    #[test]
+    fn streaming_csr_equals_legacy_edge_list_path() {
+        // The legacy builder materialised the full ordered edge list and
+        // fed it through `build_csr_pair`; the streaming builder counts
+        // and fills directly from the trace. The two must agree byte for
+        // byte — offsets and targets both.
+        let n = 5u32;
+        let mut b = ProgramBuilder::new(n);
+        for r in 0..n {
+            let mut rb = b.rank(Rank(r));
+            let mut reqs = Vec::new();
+            for _ in 0..n - 1 {
+                reqs.push(rb.irecv_any(TagSpec::Any));
+            }
+            for peer in 0..n {
+                if peer != r {
+                    reqs.push(rb.isend(Rank(peer), Tag(0), 1));
+                }
+            }
+            rb.waitall(reqs);
+        }
+        let p = b.build();
+        for seed in 0..5 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            let g = EventGraph::from_trace(&t);
+            // Legacy path, reproduced: materialise the ordered edge list.
+            let world = t.world_size();
+            let mut rank_base = Vec::new();
+            let mut count = 0u32;
+            for r in 0..world {
+                rank_base.push(count);
+                count += t.rank_events(Rank(r)).len() as u32;
+            }
+            let id_of =
+                |eid: anacin_mpisim::trace::EventId| NodeId(rank_base[eid.rank.index()] + eid.idx);
+            let mut edges: Vec<(u32, u32, EdgeKind)> = Vec::new();
+            for r in 0..world {
+                let base = rank_base[r as usize];
+                let len = t.rank_events(Rank(r)).len() as u32;
+                for i in 0..len.saturating_sub(1) {
+                    edges.push((base + i, base + i + 1, EdgeKind::Program));
+                }
+            }
+            for (id, ev) in t.iter() {
+                if let anacin_mpisim::trace::EventKind::Recv { send_event, .. } = ev.kind {
+                    edges.push((id_of(send_event).0, id_of(id).0, EdgeKind::Message));
+                }
+            }
+            let (out, inc) = build_csr_pair(count as usize, &edges);
+            assert_eq!(g.out, out, "seed {seed}: out CSR diverged");
+            assert_eq!(g.incoming, inc, "seed {seed}: in CSR diverged");
         }
     }
 

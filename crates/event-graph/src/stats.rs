@@ -6,6 +6,96 @@ use crate::graph::{EventGraph, NodeKind};
 use anacin_mpisim::types::Rank;
 use serde::{Deserialize, Serialize};
 
+/// Sparse rank-to-rank traffic: one `(src, dst, messages)` entry per
+/// channel that carried at least one message, sorted by `(src, dst)`.
+///
+/// The former dense `Vec<Vec<u64>>` cost O(ranks²) memory regardless of
+/// how many channels were actually used — 128 MiB of mostly-zero counters
+/// at 4096 ranks. Real patterns touch a sparse subset (stencils: ~4·n
+/// channels; even all-to-all costs only one entry per *used* channel), so
+/// the sparse form is never larger and usually orders of magnitude
+/// smaller. [`TrafficMatrix::to_dense`] recovers the dense form for
+/// small-scale rendering and equality tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    world_size: u32,
+    /// Sorted by `(src, dst)`; every count is nonzero.
+    entries: Vec<(u32, u32, u64)>,
+}
+
+impl TrafficMatrix {
+    /// Count matched messages per channel. Nodes are rank-major, so each
+    /// destination's sources are gathered into one reused buffer — peak
+    /// transient memory is one rank's receive count, not the whole graph.
+    fn of(g: &EventGraph) -> TrafficMatrix {
+        let mut entries: Vec<(u32, u32, u64)> = Vec::new();
+        let mut srcs: Vec<u32> = Vec::new();
+        for d in 0..g.world_size() {
+            srcs.clear();
+            for id in g.rank_nodes(Rank(d)) {
+                if let NodeKind::Recv { src, .. } = g.node(id).kind {
+                    srcs.push(src.0);
+                }
+            }
+            srcs.sort_unstable();
+            let mut i = 0;
+            while i < srcs.len() {
+                let s = srcs[i];
+                let j = srcs[i..].partition_point(|&x| x == s) + i;
+                entries.push((s, d, (j - i) as u64));
+                i = j;
+            }
+        }
+        // Entries were appended grouped by destination; re-sort the (far
+        // smaller) aggregated list into (src, dst) order.
+        entries.sort_unstable();
+        TrafficMatrix {
+            world_size: g.world_size(),
+            entries,
+        }
+    }
+
+    /// Ranks in the job.
+    pub fn world_size(&self) -> u32 {
+        self.world_size
+    }
+
+    /// Messages matched from `src` to `dst`.
+    pub fn get(&self, src: Rank, dst: Rank) -> u64 {
+        self.entries
+            .binary_search_by_key(&(src.0, dst.0), |&(s, d, _)| (s, d))
+            .map(|i| self.entries[i].2)
+            .unwrap_or(0)
+    }
+
+    /// Iterate nonzero channels as `(src, dst, messages)`, in
+    /// `(src, dst)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, Rank, u64)> + '_ {
+        self.entries.iter().map(|&(s, d, m)| (Rank(s), Rank(d), m))
+    }
+
+    /// Number of channels that carried at least one message.
+    pub fn nonzero_channels(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total matched messages.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, _, m)| m).sum()
+    }
+
+    /// Materialise the dense `traffic[src][dst]` form (small worlds only —
+    /// this is the representation the sparse form replaced).
+    pub fn to_dense(&self) -> Vec<Vec<u64>> {
+        let n = self.world_size as usize;
+        let mut dense = vec![vec![0u64; n]; n];
+        for &(s, d, m) in &self.entries {
+            dense[s as usize][d as usize] = m;
+        }
+        dense
+    }
+}
+
 /// A structural profile of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphStats {
@@ -23,27 +113,24 @@ pub struct GraphStats {
     pub program_edges: usize,
     /// Message edges.
     pub message_edges: usize,
-    /// `traffic[src][dst]` = messages matched from src to dst.
-    pub traffic: Vec<Vec<u64>>,
+    /// Messages matched per `(src, dst)` channel, sparse.
+    pub traffic: TrafficMatrix,
 }
 
 impl GraphStats {
     /// Compute the profile of a graph.
     pub fn of(g: &EventGraph) -> GraphStats {
-        let n = g.world_size() as usize;
         let mut sends = 0;
         let mut recvs = 0;
         let mut wildcard_recvs = 0;
-        let mut traffic = vec![vec![0u64; n]; n];
         for id in g.node_ids() {
             match g.node(id).kind {
                 NodeKind::Send { .. } => sends += 1,
-                NodeKind::Recv { src, wildcard } => {
+                NodeKind::Recv { wildcard, .. } => {
                     recvs += 1;
                     if wildcard {
                         wildcard_recvs += 1;
                     }
-                    traffic[src.index()][g.node(id).rank.index()] += 1;
                 }
                 _ => {}
             }
@@ -57,7 +144,7 @@ impl GraphStats {
             wildcard_recvs,
             program_edges,
             message_edges,
-            traffic,
+            traffic: TrafficMatrix::of(g),
         }
     }
 
@@ -73,28 +160,37 @@ impl GraphStats {
 
     /// Messages received by `rank` (column sum of the traffic matrix).
     pub fn inbound(&self, rank: Rank) -> u64 {
-        self.traffic.iter().map(|row| row[rank.index()]).sum()
+        self.traffic
+            .iter()
+            .filter(|&(_, d, _)| d == rank)
+            .map(|(_, _, m)| m)
+            .sum()
     }
 
     /// Messages sent by `rank` (row sum of the traffic matrix).
     pub fn outbound(&self, rank: Rank) -> u64 {
-        self.traffic[rank.index()].iter().sum()
+        self.traffic
+            .iter()
+            .filter(|&(s, _, _)| s == rank)
+            .map(|(_, _, m)| m)
+            .sum()
     }
 
-    /// The busiest channel `(src, dst, messages)`.
+    /// The busiest channel `(src, dst, messages)`. Ties resolve to the
+    /// lowest `(src, dst)`, as in the dense row-major scan this replaced.
     pub fn hottest_channel(&self) -> Option<(Rank, Rank, u64)> {
-        let mut best = None;
-        for (s, row) in self.traffic.iter().enumerate() {
-            for (d, &m) in row.iter().enumerate() {
-                if m > 0 && best.map(|(_, _, bm)| m > bm).unwrap_or(true) {
-                    best = Some((Rank(s as u32), Rank(d as u32), m));
-                }
+        let mut best: Option<(Rank, Rank, u64)> = None;
+        for (s, d, m) in self.traffic.iter() {
+            if best.map(|(_, _, bm)| m > bm).unwrap_or(true) {
+                best = Some((s, d, m));
             }
         }
         best
     }
 
-    /// Render a compact text profile.
+    /// Render a compact text profile. Small worlds get the full dense
+    /// matrix; past 64 ranks (where a dense table would be unreadable and
+    /// quadratic in size) the nonzero channels are summarised instead.
     pub fn render(&self) -> String {
         let mut s = format!(
             "ranks={} nodes={} sends={} recvs={} (wildcard {:.0}%) edges: {} program + {} message\n",
@@ -106,18 +202,26 @@ impl GraphStats {
             self.program_edges,
             self.message_edges
         );
-        s.push_str("traffic (rows = sender, cols = receiver):\n");
-        s.push_str("     ");
-        for d in 0..self.world_size {
-            s.push_str(&format!("{d:>5}"));
-        }
-        s.push('\n');
-        for (r, row) in self.traffic.iter().enumerate() {
-            s.push_str(&format!("{r:>5}"));
-            for &m in row {
-                s.push_str(&format!("{m:>5}"));
+        if self.world_size <= 64 {
+            s.push_str("traffic (rows = sender, cols = receiver):\n");
+            s.push_str("     ");
+            for d in 0..self.world_size {
+                s.push_str(&format!("{d:>5}"));
             }
             s.push('\n');
+            for (r, row) in self.traffic.to_dense().iter().enumerate() {
+                s.push_str(&format!("{r:>5}"));
+                for &m in row {
+                    s.push_str(&format!("{m:>5}"));
+                }
+                s.push('\n');
+            }
+        } else {
+            s.push_str(&format!(
+                "traffic: {} message(s) over {} active channel(s)\n",
+                self.traffic.total(),
+                self.traffic.nonzero_channels()
+            ));
         }
         s
     }
@@ -173,6 +277,77 @@ mod tests {
         assert!(text.contains("wildcard 100%"));
         assert!(text.contains("traffic"));
         assert_eq!(text.lines().count(), 2 + 1 + 4);
+    }
+
+    #[test]
+    fn sparse_traffic_equals_dense_accumulation() {
+        // Equality oracle: accumulate the dense matrix the way the old
+        // code did (one cell increment per receive node) and compare to
+        // the sparse form, cell for cell, plus the derived row/column
+        // sums.
+        let n = 6u32;
+        let mut b = ProgramBuilder::new(n);
+        for r in 0..n {
+            let mut rb = b.rank(Rank(r));
+            let mut reqs = Vec::new();
+            for _ in 0..n - 1 {
+                reqs.push(rb.irecv_any(TagSpec::Any));
+            }
+            for peer in 0..n {
+                if peer != r {
+                    reqs.push(rb.isend(Rank(peer), Tag(0), 1));
+                }
+            }
+            rb.waitall(reqs);
+        }
+        let p = b.build();
+        for seed in 0..4 {
+            let t = simulate(&p, &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+            let g = EventGraph::from_trace(&t);
+            let s = GraphStats::of(&g);
+            let mut dense = vec![vec![0u64; n as usize]; n as usize];
+            for id in g.node_ids() {
+                if let NodeKind::Recv { src, .. } = g.node(id).kind {
+                    dense[src.index()][g.node(id).rank.index()] += 1;
+                }
+            }
+            assert_eq!(s.traffic.to_dense(), dense, "seed {seed}");
+            for r in 0..n {
+                let row: u64 = dense[r as usize].iter().sum();
+                let col: u64 = dense.iter().map(|row| row[r as usize]).sum();
+                assert_eq!(s.outbound(Rank(r)), row, "seed {seed} rank {r}");
+                assert_eq!(s.inbound(Rank(r)), col, "seed {seed} rank {r}");
+                for d in 0..n {
+                    assert_eq!(
+                        s.traffic.get(Rank(r), Rank(d)),
+                        dense[r as usize][d as usize]
+                    );
+                }
+            }
+            assert_eq!(s.traffic.total(), s.message_edges as u64);
+        }
+    }
+
+    #[test]
+    fn large_world_render_is_sparse_and_small() {
+        // 128 ranks in a ring: the dense table would be 128 rows; the
+        // sparse summary is one line.
+        let n = 128u32;
+        let mut b = ProgramBuilder::new(n);
+        for r in 0..n {
+            let next = Rank((r + 1) % n);
+            let mut rb = b.rank(Rank(r));
+            let recv = rb.irecv_any(TagSpec::Any);
+            let send = rb.isend(next, Tag(0), 1);
+            rb.waitall(vec![recv, send]);
+        }
+        let t = simulate(&b.build(), &SimConfig::deterministic()).unwrap();
+        let s = GraphStats::of(&EventGraph::from_trace(&t));
+        assert_eq!(s.traffic.nonzero_channels(), n as usize);
+        assert_eq!(s.traffic.total(), n as u64);
+        let text = s.render();
+        assert!(text.contains("128 active channel(s)"));
+        assert!(text.lines().count() <= 3);
     }
 
     #[test]

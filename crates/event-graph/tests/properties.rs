@@ -1,7 +1,12 @@
 //! Property-based tests of event-graph construction and algorithms over
 //! randomly generated balanced programs.
 
-use anacin_event_graph::{algo, diff, graph::EventGraph, lamport, slice, stats::GraphStats};
+use anacin_event_graph::{
+    algo, diff,
+    graph::{EdgeKind, EventGraph, NodeId},
+    lamport, slice,
+    stats::GraphStats,
+};
 use anacin_mpisim::prelude::*;
 use proptest::prelude::*;
 
@@ -48,11 +53,57 @@ proptest! {
         prop_assert_eq!(s.sends, msgs.len());
         prop_assert_eq!(s.recvs, msgs.len());
         prop_assert_eq!(s.message_edges, msgs.len());
-        // Traffic conservation.
-        let traffic_total: u64 = s.traffic.iter().flatten().sum();
-        prop_assert_eq!(traffic_total as usize, msgs.len());
+        // Traffic conservation, in both the sparse and dense views.
+        prop_assert_eq!(s.traffic.total() as usize, msgs.len());
+        let dense_total: u64 = s.traffic.to_dense().iter().flatten().sum();
+        prop_assert_eq!(dense_total as usize, msgs.len());
         // Node accounting: init + finalize per rank + send/recv events.
         prop_assert_eq!(s.nodes, 12 + 2 * msgs.len());
+    }
+
+    /// The streaming two-pass CSR construction is bit-identical to the
+    /// legacy edge-list materialisation: every node's out- and in-
+    /// adjacency, including edge order, equals a `Vec<Vec<_>>` rebuild
+    /// from the trace in canonical emission order (program edges rank by
+    /// rank, then message edges in trace-iteration order).
+    #[test]
+    fn streaming_csr_matches_legacy_edge_list(
+        msgs in msgs_strategy(6),
+        nd in 0.0f64..=100.0,
+        seed in 0u64..200,
+    ) {
+        let world = 6u32;
+        let p = build_program(world, &msgs);
+        let t = simulate(&p, &SimConfig::with_nd_percent(nd, seed)).unwrap();
+        let g = EventGraph::from_trace(&t);
+        let mut base = vec![0u32; world as usize + 1];
+        for r in 0..world as usize {
+            base[r + 1] = base[r] + t.rank_events(Rank(r as u32)).len() as u32;
+        }
+        let node_of = |rank: Rank, idx: u32| NodeId(base[rank.index()] + idx);
+        let n = g.node_count();
+        let mut out: Vec<Vec<(NodeId, EdgeKind)>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<(NodeId, EdgeKind)>> = vec![Vec::new(); n];
+        for r in 0..world {
+            let len = t.rank_events(Rank(r)).len() as u32;
+            for i in 1..len {
+                let (u, v) = (node_of(Rank(r), i - 1), node_of(Rank(r), i));
+                out[u.index()].push((v, EdgeKind::Program));
+                inc[v.index()].push((u, EdgeKind::Program));
+            }
+        }
+        for (id, e) in t.iter() {
+            if let EventKind::Recv { send_event, .. } = &e.kind {
+                let (u, v) = (node_of(send_event.rank, send_event.idx),
+                              node_of(id.rank, id.idx));
+                out[u.index()].push((v, EdgeKind::Message));
+                inc[v.index()].push((u, EdgeKind::Message));
+            }
+        }
+        for id in g.node_ids() {
+            prop_assert_eq!(g.out_edges(id), &out[id.index()][..]);
+            prop_assert_eq!(g.in_edges(id), &inc[id.index()][..]);
+        }
     }
 
     /// Slicing partitions: both slicers cover every node exactly once,

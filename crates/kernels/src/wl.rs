@@ -60,6 +60,16 @@ impl Default for WlKernel {
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// Independent FNV chains hashed in interleaved lanes during relabelling.
+const LANES: usize = 4;
+
+/// Nodes per relabelling shard. Bounds the gather buffer at one shard's
+/// word streams (own label + two separators + degree words per node) —
+/// a few hundred KiB for typical event graphs — independent of total
+/// graph size. Must be a multiple of [`LANES`] so every full shard hits
+/// the interleaved fast path.
+const SHARD_NODES: usize = 4096;
+
 /// One FNV-1a step: fold a `u64` word into state `h`, byte by byte —
 /// exactly what [`fnv1a_words`] does per word, so folding a node's word
 /// sequence through this reproduces its digest bit-for-bit.
@@ -156,14 +166,28 @@ impl LabelInterner {
     /// raw labels into `self.raw`. The hashed word sequence per node is
     /// exactly the historical `[own, MAX, sorted in, MAX−1, sorted out]`,
     /// so the output labels are bit-identical to the uninterned path.
-    ///
-    /// Runs in two phases: flatten every node's word stream into one arena
-    /// buffer, then hash several nodes' streams as independent lanes. The
-    /// FNV fold is a serial xor-multiply chain per node, so hashing one
-    /// node at a time is latency-bound; interleaved lanes give the
-    /// out-of-order core independent chains to overlap, without changing
-    /// any lane's byte sequence.
     fn relabel(&mut self, g: &EventGraph, edge_sensitive: bool) {
+        self.relabel_sharded(g, edge_sensitive, SHARD_NODES);
+    }
+
+    /// The relabelling round, processed `shard` nodes at a time.
+    ///
+    /// Each shard runs two phases: flatten the shard's word streams into
+    /// the arena buffer, then hash several nodes' streams as independent
+    /// lanes. The FNV fold is a serial xor-multiply chain per node, so
+    /// hashing one node at a time is latency-bound; interleaved lanes give
+    /// the out-of-order core independent chains to overlap, without
+    /// changing any lane's byte sequence. Sharding keeps `words` at
+    /// O(shard's edges) rather than O(graph's edges) — the difference
+    /// between a transient scratch buffer and a second copy of the graph
+    /// at multi-million-node scale — and cannot change any label: every
+    /// node's word stream is byte-identical regardless of which shard
+    /// gathers it.
+    fn relabel_sharded(&mut self, g: &EventGraph, edge_sensitive: bool, shard: usize) {
+        assert!(
+            shard > 0 && shard.is_multiple_of(LANES),
+            "shard must be a multiple of LANES"
+        );
         self.contrib_program.clear();
         self.contrib_message.clear();
         if edge_sensitive {
@@ -172,8 +196,6 @@ impl LabelInterner {
                 self.contrib_message.push(fnv1a_words(&[l, 2]));
             }
         }
-        // Phase 1: gather. Neighbour contributions are pushed straight into
-        // the flat buffer and each in-/out-range sorted in place.
         let words = &mut self.words;
         let word_ends = &mut self.word_ends;
         let dense = &self.dense;
@@ -190,58 +212,67 @@ impl LabelInterner {
                 table[d]
             }
         };
-        words.clear();
-        word_ends.clear();
-        for id in g.node_ids() {
-            words.push(table[dense[id.index()] as usize]);
-            words.push(u64::MAX); // separator
-            let s = words.len();
-            words.extend(g.in_edges(id).iter().map(|&(n, k)| contrib(n, k)));
-            words[s..].sort_unstable();
-            words.push(u64::MAX - 1); // separator
-            let s = words.len();
-            words.extend(g.out_edges(id).iter().map(|&(n, k)| contrib(n, k)));
-            words[s..].sort_unstable();
-            word_ends.push(words.len() as u32);
-        }
-        // Phase 2: hash LANES nodes at a time. Node ids are dense indices
-        // in iteration order, so word range `i` belongs to `raw[i]`.
-        const LANES: usize = 4;
-        let n = word_ends.len();
-        let range = |i: usize| -> (usize, usize) {
-            let s = if i == 0 { 0 } else { word_ends[i - 1] as usize };
-            (s, word_ends[i] as usize)
-        };
-        let mut node = 0usize;
-        while node + LANES <= n {
-            let mut starts = [0usize; LANES];
-            let mut lens = [0usize; LANES];
-            let mut states = [FNV_OFFSET; LANES];
-            let mut max_len = 0usize;
-            for (l, (start, len)) in starts.iter_mut().zip(lens.iter_mut()).enumerate() {
-                let (s, e) = range(node + l);
-                *start = s;
-                *len = e - s;
-                max_len = max_len.max(e - s);
+        let total = g.node_count();
+        let mut shard_start = 0usize;
+        while shard_start < total {
+            let shard_end = (shard_start + shard).min(total);
+            // Phase 1: gather this shard. Neighbour contributions are
+            // pushed straight into the flat buffer and each in-/out-range
+            // sorted in place. `word_ends[i]` is node `shard_start + i`'s
+            // exclusive end within the shard-local `words`.
+            words.clear();
+            word_ends.clear();
+            for idx in shard_start..shard_end {
+                let id = anacin_event_graph::NodeId(idx as u32);
+                words.push(table[dense[idx] as usize]);
+                words.push(u64::MAX); // separator
+                let s = words.len();
+                words.extend(g.in_edges(id).iter().map(|&(n, k)| contrib(n, k)));
+                words[s..].sort_unstable();
+                words.push(u64::MAX - 1); // separator
+                let s = words.len();
+                words.extend(g.out_edges(id).iter().map(|&(n, k)| contrib(n, k)));
+                words[s..].sort_unstable();
+                word_ends.push(words.len() as u32);
             }
-            for pos in 0..max_len {
-                for l in 0..LANES {
-                    if pos < lens[l] {
-                        states[l] = absorb_word(states[l], words[starts[l] + pos]);
+            // Phase 2: hash LANES nodes at a time.
+            let n = word_ends.len();
+            let range = |i: usize| -> (usize, usize) {
+                let s = if i == 0 { 0 } else { word_ends[i - 1] as usize };
+                (s, word_ends[i] as usize)
+            };
+            let mut node = 0usize;
+            while node + LANES <= n {
+                let mut starts = [0usize; LANES];
+                let mut lens = [0usize; LANES];
+                let mut states = [FNV_OFFSET; LANES];
+                let mut max_len = 0usize;
+                for (l, (start, len)) in starts.iter_mut().zip(lens.iter_mut()).enumerate() {
+                    let (s, e) = range(node + l);
+                    *start = s;
+                    *len = e - s;
+                    max_len = max_len.max(e - s);
+                }
+                for pos in 0..max_len {
+                    for l in 0..LANES {
+                        if pos < lens[l] {
+                            states[l] = absorb_word(states[l], words[starts[l] + pos]);
+                        }
                     }
                 }
+                self.raw[shard_start + node..shard_start + node + LANES].copy_from_slice(&states);
+                node += LANES;
             }
-            self.raw[node..node + LANES].copy_from_slice(&states);
-            node += LANES;
-        }
-        while node < n {
-            let (s, e) = range(node);
-            let mut h = WordHasher::new();
-            for &w in &words[s..e] {
-                h.absorb(w);
+            while node < n {
+                let (s, e) = range(node);
+                let mut h = WordHasher::new();
+                for &w in &words[s..e] {
+                    h.absorb(w);
+                }
+                self.raw[shard_start + node] = h.finish();
+                node += 1;
             }
-            self.raw[node] = h.finish();
-            node += 1;
+            shard_start = shard_end;
         }
     }
 }
@@ -400,6 +431,31 @@ mod tests {
         }
         let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
         EventGraph::from_trace(&t)
+    }
+
+    #[test]
+    fn sharded_relabel_is_shard_size_invariant() {
+        // A 40-rank race graph has 158 nodes: several full shards plus a
+        // partial tail at the small shard sizes below. Every shard size —
+        // including the production one, which covers the graph in a single
+        // shard here — must agree with the legacy oracle on every round.
+        let g = race_graph(40, 100.0, 9);
+        assert!(g.node_count() > 64, "graph must span multiple small shards");
+        for edge_sensitive in [false, true] {
+            let init = initial_labels(&g, LabelPolicy::TypeAndPeer);
+            let legacy1 = relabel_legacy(&g, &init, edge_sensitive);
+            let legacy2 = relabel_legacy(&g, &legacy1, edge_sensitive);
+            for shard in [4, 8, 64, SHARD_NODES] {
+                let mut arena = LabelInterner::new(g.node_count());
+                arena.raw = init.clone();
+                arena.intern();
+                arena.relabel_sharded(&g, edge_sensitive, shard);
+                assert_eq!(arena.raw, legacy1, "round 1, shard={shard}");
+                arena.intern();
+                arena.relabel_sharded(&g, edge_sensitive, shard);
+                assert_eq!(arena.raw, legacy2, "round 2, shard={shard}");
+            }
+        }
     }
 
     #[test]
@@ -595,5 +651,66 @@ mod tests {
     fn kernel_name_mentions_config() {
         let k = WlKernel::default();
         assert!(k.name().starts_with("wl(h=3"));
+    }
+
+    mod generated {
+        use super::*;
+        use proptest::prelude::*;
+
+        const POLICIES: [LabelPolicy; 5] = [
+            LabelPolicy::EventType,
+            LabelPolicy::TypeAndPeer,
+            LabelPolicy::RankAndType,
+            LabelPolicy::RankTypePeer,
+            LabelPolicy::Callstack,
+        ];
+
+        fn message_graph(msgs: &[(u32, u32)], nd: f64, seed: u64) -> EventGraph {
+            let world = 6u32;
+            let mut b = ProgramBuilder::new(world);
+            let mut inbound = vec![0u32; world as usize];
+            for &(src, dst) in msgs {
+                b.rank(Rank(src)).send(Rank(dst), Tag(0), 8);
+                inbound[dst as usize] += 1;
+            }
+            for (r, &n) in inbound.iter().enumerate() {
+                for _ in 0..n {
+                    b.rank(Rank(r as u32)).recv_any(TagSpec::Tag(Tag(0)));
+                }
+            }
+            let t = simulate(&b.build(), &SimConfig::with_nd_percent(nd, seed)).unwrap();
+            EventGraph::from_trace(&t)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The sharded, interned WL path is bit-identical to the
+            /// legacy one-`Vec`-per-node oracle on randomly generated
+            /// programs, across every label policy, both edge modes, and
+            /// several refinement depths.
+            #[test]
+            fn bounded_memory_wl_matches_legacy_on_generated_programs(
+                msgs in prop::collection::vec(
+                    (0..6u32, 0..6u32).prop_filter("no self sends", |(s, d)| s != d),
+                    0..24,
+                ),
+                nd in 0.0f64..=100.0,
+                seed in 0u64..200,
+                policy_idx in 0usize..5,
+                edge_mode in 0u8..2,
+                iterations in 0u32..4,
+            ) {
+                let edge_sensitive = edge_mode == 1;
+                let g = message_graph(&msgs, nd, seed);
+                let k = WlKernel {
+                    iterations,
+                    policy: POLICIES[policy_idx],
+                    edge_sensitive,
+                };
+                prop_assert_eq!(k.features(&g), features_legacy(&k, &g));
+                prop_assert_eq!(k.label_rounds(&g), label_rounds_legacy(&k, &g));
+            }
+        }
     }
 }

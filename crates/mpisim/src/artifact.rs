@@ -137,14 +137,18 @@ impl Artifact for Trace {
                 return Err(WireError::BadTag(id.0 as u8));
             }
         }
-        let mut events = Vec::with_capacity(world_size as usize);
+        // The wire layout is rank-major, so the arena can be filled
+        // directly — no per-rank `Vec<Vec<_>>` staging.
+        let mut events = Vec::new();
+        let mut offsets = Vec::with_capacity(world_size as usize + 1);
+        offsets.push(0u64);
         for _ in 0..world_size {
             let n = r.seq_len(13)?;
-            let mut rank_events = Vec::with_capacity(n);
+            events.reserve(n);
             for _ in 0..n {
-                rank_events.push(decode_event(r)?);
+                events.push(decode_event(r)?);
             }
-            events.push(rank_events);
+            offsets.push(events.len() as u64);
         }
         let meta = TraceMeta {
             seed: r.u64()?,
@@ -154,7 +158,7 @@ impl Artifact for Trace {
             messages: r.u64()?,
             unmatched_messages: r.u64()?,
         };
-        Ok(Trace::new(world_size, events, stacks, meta))
+        Ok(Trace::from_flat(world_size, events, offsets, stacks, meta))
     }
 }
 

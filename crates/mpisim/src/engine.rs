@@ -78,6 +78,14 @@ pub enum SimError {
         /// The unknown slot.
         req: ReqSlot,
     },
+    /// A rank's trace outgrew the `u32` event-index space (or its receive
+    /// ordinals did). Event ids are `(rank, u32)` pairs throughout the
+    /// pipeline — past 2³² events the old `as u32` cast silently wrapped
+    /// and corrupted the trace; now the run fails loudly instead.
+    TraceTooLarge {
+        /// The rank whose per-rank event count overflowed.
+        rank: Rank,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +94,9 @@ impl fmt::Display for SimError {
             SimError::Deadlock(r) => write!(f, "deadlock: {r}"),
             SimError::UnknownRequest { rank, req } => {
                 write!(f, "{rank} waited on unknown request slot {}", req.0)
+            }
+            SimError::TraceTooLarge { rank } => {
+                write!(f, "{rank} exceeded {} trace events", u32::MAX)
             }
         }
     }
@@ -204,10 +215,13 @@ impl RankState {
         self.requests.get(slot.index()).unwrap_or(&ReqState::Unused)
     }
 
-    fn emit(&mut self, kind: EventKind, time: SimTime, stack: CallStackId) -> u32 {
-        let idx = self.events.len() as u32;
+    /// Append an event, returning its rank-local index — or `None` once
+    /// the index space is exhausted (the caller surfaces
+    /// [`SimError::TraceTooLarge`]).
+    fn emit(&mut self, kind: EventKind, time: SimTime, stack: CallStackId) -> Option<u32> {
+        let idx = u32::try_from(self.events.len()).ok()?;
         self.events.push(TraceEvent { kind, time, stack });
-        idx
+        Some(idx)
     }
 
     /// Time of the most recent event (for monotone clamping of
@@ -216,10 +230,10 @@ impl RankState {
         self.events.last().map(|e| e.time).unwrap_or(SimTime::ZERO)
     }
 
-    fn next_ordinal(&mut self) -> u32 {
+    fn next_ordinal(&mut self) -> Option<u32> {
         let o = self.recv_ordinal;
-        self.recv_ordinal += 1;
-        o
+        self.recv_ordinal = self.recv_ordinal.checked_add(1)?;
+        Some(o)
     }
 }
 
@@ -361,7 +375,9 @@ impl<'a> Engine<'a> {
         // Every rank calls Init at t=0 and runs to its first blocking point.
         for r in 0..world {
             let rank = Rank(r);
-            self.ranks[rank.index()].emit(EventKind::Init, SimTime::ZERO, CallStackId::UNKNOWN);
+            self.ranks[rank.index()]
+                .emit(EventKind::Init, SimTime::ZERO, CallStackId::UNKNOWN)
+                .ok_or(SimError::TraceTooLarge { rank })?;
             self.run_rank(rank)?;
         }
         // Drain arrivals.
@@ -427,7 +443,9 @@ impl<'a> Engine<'a> {
             let Some(op) = ops.get(pc) else {
                 // Program exhausted: finalize.
                 let now = self.ranks[rank.index()].now;
-                self.ranks[rank.index()].emit(EventKind::Finalize, now, CallStackId::UNKNOWN);
+                self.ranks[rank.index()]
+                    .emit(EventKind::Finalize, now, CallStackId::UNKNOWN)
+                    .ok_or(SimError::TraceTooLarge { rank })?;
                 self.ranks[rank.index()].status = Status::Done;
                 return Ok(());
             };
@@ -438,7 +456,7 @@ impl<'a> Engine<'a> {
                     bytes,
                     stack,
                 } => {
-                    self.do_send(rank, dst, tag, bytes, stack, None, false);
+                    self.do_send(rank, dst, tag, bytes, stack, None, false)?;
                 }
                 Op::Ssend {
                     dst,
@@ -449,7 +467,7 @@ impl<'a> Engine<'a> {
                     // Rendezvous: inject the message, then block until the
                     // receiver matches it (the engine wakes us from the
                     // match sites).
-                    self.do_send(rank, dst, tag, bytes, stack, None, true);
+                    self.do_send(rank, dst, tag, bytes, stack, None, true)?;
                     self.ranks[rank.index()].status = Status::BlockedSsend;
                     self.ranks[rank.index()].pc = pc + 1;
                     return Ok(());
@@ -461,15 +479,17 @@ impl<'a> Engine<'a> {
                     stack,
                     req,
                 } => {
-                    self.do_send(rank, dst, tag, bytes, stack, Some(req), false);
+                    self.do_send(rank, dst, tag, bytes, stack, Some(req), false)?;
                 }
                 Op::Recv { src, tag, stack } => {
                     let wildcard = src.is_wildcard() || tag.is_wildcard();
                     let rs = &mut self.ranks[rank.index()];
-                    let ordinal = rs.next_ordinal();
+                    let ordinal = rs.next_ordinal().ok_or(SimError::TraceTooLarge { rank })?;
                     let posted_at = rs.now;
                     // Placeholder; overwritten on match.
-                    let event_idx = rs.emit(EventKind::Init, posted_at, stack);
+                    let event_idx = rs
+                        .emit(EventKind::Init, posted_at, stack)
+                        .ok_or(SimError::TraceTooLarge { rank })?;
                     let forced = self.replay_constraint(rank, ordinal, wildcard);
                     let posted = PostedRecv {
                         src,
@@ -506,7 +526,7 @@ impl<'a> Engine<'a> {
                 } => {
                     let wildcard = src.is_wildcard() || tag.is_wildcard();
                     let rs = &mut self.ranks[rank.index()];
-                    let ordinal = rs.next_ordinal();
+                    let ordinal = rs.next_ordinal().ok_or(SimError::TraceTooLarge { rank })?;
                     let posted_at = rs.now;
                     *rs.req_mut(req) = ReqState::RecvPending {
                         wildcard,
@@ -581,7 +601,7 @@ impl<'a> Engine<'a> {
         stack: CallStackId,
         req: Option<ReqSlot>,
         sync: bool,
-    ) {
+    ) -> Result<(), SimError> {
         let send_time = self.ranks[rank.index()].now;
         let seq = {
             let rs = &mut self.ranks[rank.index()];
@@ -590,16 +610,18 @@ impl<'a> Engine<'a> {
             *c += 1;
             s
         };
-        let event_idx = self.ranks[rank.index()].emit(
-            EventKind::Send {
-                dst,
-                tag,
-                bytes,
-                seq,
-            },
-            send_time,
-            stack,
-        );
+        let event_idx = self.ranks[rank.index()]
+            .emit(
+                EventKind::Send {
+                    dst,
+                    tag,
+                    bytes,
+                    seq,
+                },
+                send_time,
+                stack,
+            )
+            .ok_or(SimError::TraceTooLarge { rank })?;
         // Delivery time, clamped per channel for non-overtaking.
         let raw = self.network.delivery_time(rank, dst, bytes, send_time);
         let arrival = {
@@ -631,6 +653,7 @@ impl<'a> Engine<'a> {
         if let Some(slot) = req {
             *rs.req_mut(slot) = ReqState::SendDone(rs.now);
         }
+        Ok(())
     }
 
     /// Wake the sender of a matched synchronous message. The rendezvous
@@ -744,7 +767,8 @@ impl<'a> Engine<'a> {
                     },
                     t,
                     c.stack,
-                );
+                )
+                .ok_or(SimError::TraceTooLarge { rank })?;
                 *rs.req_mut(slot) = ReqState::RecvEmitted(c.at);
             }
         }

@@ -125,7 +125,9 @@ impl CallStackTable {
         if let Some(&id) = self.index.get(&stack) {
             return id;
         }
-        let id = CallStackId(self.stacks.len() as u32);
+        let id = CallStackId(
+            u32::try_from(self.stacks.len()).expect("call-stack table exceeds u32 id space"),
+        );
         self.index.insert(stack.clone(), id);
         self.stacks.push(stack);
         id

@@ -119,18 +119,31 @@ pub struct TraceMeta {
 }
 
 /// A complete execution trace.
+///
+/// Events live in one rank-major *arena*: a single flat allocation sliced
+/// per rank by an offsets table. At HPC scale (1024 ranks × tens of
+/// millions of events) this replaces one heap allocation per rank with
+/// one for the whole trace, keeps rank iteration cache-linear, and lets
+/// downstream consumers (graph construction, feature extraction) stream
+/// the trace without any `Vec<Vec<_>>` intermediate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     world_size: u32,
-    /// `events[r]` is rank `r`'s event list in program order.
-    events: Vec<Vec<TraceEvent>>,
+    /// All events, rank-major: rank `r`'s events in program order occupy
+    /// `events[offsets[r] .. offsets[r + 1]]`.
+    events: Vec<TraceEvent>,
+    /// Per-rank extents into `events`; `world_size + 1` entries.
+    offsets: Vec<u64>,
     stacks: CallStackTable,
     /// Run metadata.
     pub meta: TraceMeta,
 }
 
 impl Trace {
-    /// Assemble a trace (used by the engine).
+    /// Assemble a trace from per-rank event lists (used by the engine).
+    /// Each inner vector is consumed — and its allocation released —
+    /// as soon as it has been copied into the arena, so peak memory stays
+    /// bounded by the arena plus the not-yet-drained tail.
     pub(crate) fn new(
         world_size: u32,
         events: Vec<Vec<TraceEvent>>,
@@ -138,9 +151,47 @@ impl Trace {
         meta: TraceMeta,
     ) -> Self {
         debug_assert_eq!(events.len(), world_size as usize);
+        let total: usize = events.iter().map(Vec::len).sum();
+        let mut flat = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(world_size as usize + 1);
+        offsets.push(0u64);
+        for rank_events in events {
+            debug_assert!(
+                rank_events.len() <= u32::MAX as usize,
+                "per-rank event count exceeds the u32 EventId space"
+            );
+            flat.extend(rank_events);
+            offsets.push(flat.len() as u64);
+        }
+        Trace {
+            world_size,
+            events: flat,
+            offsets,
+            stacks,
+            meta,
+        }
+    }
+
+    /// Assemble a trace directly from an arena and offsets table (used by
+    /// the artifact decoder, which reads events in rank-major order and
+    /// can therefore fill the arena with no per-rank staging).
+    pub(crate) fn from_flat(
+        world_size: u32,
+        events: Vec<TraceEvent>,
+        offsets: Vec<u64>,
+        stacks: CallStackTable,
+        meta: TraceMeta,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), world_size as usize + 1);
+        debug_assert_eq!(*offsets.first().unwrap_or(&1), 0);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), events.len() as u64);
+        debug_assert!(offsets
+            .windows(2)
+            .all(|w| { w[0] <= w[1] && w[1] - w[0] <= u32::MAX as u64 }));
         Trace {
             world_size,
             events,
+            offsets,
             stacks,
             meta,
         }
@@ -153,12 +204,14 @@ impl Trace {
 
     /// Rank `r`'s events in program order.
     pub fn rank_events(&self, rank: Rank) -> &[TraceEvent] {
-        &self.events[rank.index()]
+        let lo = self.offsets[rank.index()] as usize;
+        let hi = self.offsets[rank.index() + 1] as usize;
+        &self.events[lo..hi]
     }
 
     /// Look up an event by id.
     pub fn event(&self, id: EventId) -> &TraceEvent {
-        &self.events[id.rank.index()][id.idx as usize]
+        &self.rank_events(id.rank)[id.idx as usize]
     }
 
     /// The interned call-path table.
@@ -168,21 +221,25 @@ impl Trace {
 
     /// Total number of events.
     pub fn total_events(&self) -> usize {
-        self.events.iter().map(Vec::len).sum()
+        self.events.len()
     }
 
     /// Iterate over all events as `(id, event)` pairs, rank-major.
     pub fn iter(&self) -> impl Iterator<Item = (EventId, &TraceEvent)> {
-        self.events.iter().enumerate().flat_map(|(r, evs)| {
-            evs.iter().enumerate().map(move |(i, e)| {
-                (
-                    EventId {
-                        rank: Rank(r as u32),
-                        idx: i as u32,
-                    },
-                    e,
-                )
-            })
+        (0..self.world_size).flat_map(move |r| {
+            let rank = Rank(r);
+            self.rank_events(rank)
+                .iter()
+                .enumerate()
+                .map(move |(i, e)| {
+                    (
+                        EventId {
+                            rank,
+                            idx: i as u32,
+                        },
+                        e,
+                    )
+                })
         })
     }
 
@@ -262,9 +319,8 @@ impl Trace {
                         send_event.rank
                     ));
                 }
-                let se = self
-                    .events
-                    .get(send_event.rank.index())
+                let se = (send_event.rank.index() < self.world_size as usize)
+                    .then(|| self.rank_events(send_event.rank))
                     .and_then(|v| v.get(send_event.idx as usize))
                     .ok_or_else(|| format!("recv {id:?} references missing send {send_event:?}"))?;
                 match se.kind {
@@ -389,8 +445,10 @@ mod tests {
     #[test]
     fn validate_rejects_wrong_linkage() {
         let mut t = tiny_trace();
-        // Corrupt the recv to point at the finalize event.
-        if let EventKind::Recv { send_event, .. } = &mut t.events[1][1].kind {
+        // Corrupt the recv (rank 1, idx 1 — arena slot offsets[1] + 1) to
+        // point at the finalize event.
+        let slot = t.offsets[1] as usize + 1;
+        if let EventKind::Recv { send_event, .. } = &mut t.events[slot].kind {
             *send_event = EventId::new(Rank(0), 2);
         }
         assert!(t.validate().is_err());
