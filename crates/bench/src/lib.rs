@@ -11,10 +11,15 @@
 pub mod baseline;
 pub mod figures;
 pub mod scale;
+pub mod trend;
 
 pub use baseline::{run_baseline, BaselineConfig, BaselineReport, StageTimings};
 pub use figures::{by_id, FigureOutput, Scale, ALL_IDS};
 pub use scale::{
     peak_rss_mib, reset_peak_rss, run_large_baseline, LargeBaselineReport, LargeScaleConfig,
     LargeStageTimings,
+};
+pub use trend::{
+    analyze_dir, analyze_files, render_trend_table, TrendConfig, TrendPoint, TrendReport,
+    TrendSeries,
 };

@@ -92,6 +92,10 @@ pub struct LargeStageTimings {
     /// Peak RSS (MiB) observed across the streaming campaign, watermark-
     /// reset beforehand where the platform allows; `None` off Linux.
     pub peak_rss_mib: Option<f64>,
+    /// Relative wall-time cost of streaming a full Chrome trace during
+    /// the campaign, percent over the untraced streaming run. `None`
+    /// when the untraced run was too fast to compare meaningfully.
+    pub trace_overhead_pct: Option<f64>,
 }
 
 /// The large-scale baseline report (`BENCH_large.json`).
@@ -112,7 +116,7 @@ impl LargeBaselineReport {
     pub fn render_table(&self) -> String {
         let mut out = format!(
             "large baseline: procs={} runs={} iterations={}\n\
-             {:<16} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}\n",
+             {:<16} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}\n",
             self.procs,
             self.runs,
             self.iterations,
@@ -124,15 +128,20 @@ impl LargeBaselineReport {
             "campaign_ms",
             "events",
             "nodes",
-            "rss_mib"
+            "rss_mib",
+            "traced_pct"
         );
         for r in &self.patterns {
             let rss = match r.peak_rss_mib {
                 Some(v) => format!("{v:.0}"),
                 None => "-".to_string(),
             };
+            let traced = match r.trace_overhead_pct {
+                Some(v) => format!("{v:+.1}"),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:<16} {:>12.1} {:>10.1} {:>12.1} {:>10.1} {:>12.1} {:>12} {:>12} {:>10}\n",
+                "{:<16} {:>12.1} {:>10.1} {:>12.1} {:>10.1} {:>12.1} {:>12} {:>12} {:>10} {:>10}\n",
                 r.pattern,
                 r.simulate_ms,
                 r.graph_ms,
@@ -141,7 +150,8 @@ impl LargeBaselineReport {
                 r.campaign_ms,
                 r.events,
                 r.nodes,
-                rss
+                rss,
+                traced
             ));
         }
         out
@@ -188,6 +198,30 @@ pub fn run_large_baseline(cfg: &LargeScaleConfig) -> LargeBaselineReport {
             .span("campaign/kernel/gram")
             .map(|s| s.total_ns as f64 / 1e6)
             .unwrap_or(0.0);
+        // Traced streaming pass: the same campaign with a Chrome sink
+        // attached, draining through the full formatter into a counting
+        // writer (all the serialisation cost, none of the disk noise).
+        let trace_overhead_pct = {
+            let tracer = anacin_obs::Tracer::with_capacity(anacin_obs::DEFAULT_CAPACITY);
+            let bytes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let sink = anacin_obs::ChromeJsonSink::new(
+                anacin_obs::CountingWriter::new(std::sync::Arc::clone(&bytes)),
+                true,
+            )
+            .expect("counting sink");
+            tracer.attach_sink(Box::new(sink));
+            let reg2 = MetricsRegistry::new();
+            reg2.attach_tracer(&tracer);
+            let t = Instant::now();
+            run_campaign_streaming_observed(&ccfg, Some(&reg2), Some(&tracer), 0)
+                .expect("large baseline traced campaign");
+            tracer.finish_sink().expect("drain traced campaign");
+            let traced_ms = t.elapsed().as_secs_f64() * 1e3;
+            // The large tier measures each pass once; a ratio of two
+            // single samples is only meaningful when the campaign is
+            // long enough to dominate warmup/scheduling noise.
+            (campaign_ms > 1_000.0).then(|| (traced_ms / campaign_ms - 1.0) * 100.0)
+        };
         rows.push(LargeStageTimings {
             pattern: p.to_string(),
             simulate_ms,
@@ -199,6 +233,7 @@ pub fn run_large_baseline(cfg: &LargeScaleConfig) -> LargeBaselineReport {
             nodes: result.total_nodes,
             dot_products: report.counter("kernel/dot_products").unwrap_or(0),
             peak_rss_mib: peak,
+            trace_overhead_pct,
         });
     }
     LargeBaselineReport {
@@ -242,8 +277,10 @@ mod tests {
         let table = r.render_table();
         assert!(table.contains("amg2013"), "{table}");
         assert!(table.contains("rss_mib"), "{table}");
+        assert!(table.contains("traced_pct"), "{table}");
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"peak_rss_mib\""));
         assert!(json.contains("\"campaign_ms\""));
+        assert!(json.contains("\"trace_overhead_pct\""));
     }
 }

@@ -29,8 +29,13 @@ COMMANDS
                                 print a per-stage summary table to stderr
               [--trace FILE[.json|.folded]]  record an execution trace:
                                 Chrome Trace Event JSON (Perfetto) or
-                                folded flamegraph stacks (inferno)
+                                folded flamegraph stacks (inferno);
+                                with --stream the file is written
+                                incrementally as the ring drains, so
+                                tracing adds O(1) memory at any scale
               [--trace-capacity N]  trace ring size in events (default 262144)
+              [--progress]  live one-line status on stderr (runs done,
+                            events simulated, hottest stage, ETA)
               [--store DIR]  run incrementally against a content-addressed
                              artifact store: reuse every stored trace/graph/
                              feature vector, publish what was recomputed
@@ -65,8 +70,13 @@ COMMANDS
               anacin bench baseline [--procs N] [--runs N] [--samples N]
               [--out FILE]  (default BENCH_baseline.json)
               anacin bench baseline --scale large  1024-rank streaming
-              tier: per-stage timings + peak RSS → BENCH_large.json
+              tier: per-stage timings + peak RSS + trace overhead
+              → BENCH_large.json
               [--procs N] [--runs N] [--iterations N] [--out FILE]
+              anacin bench trend DIR  regression gate over per-commit
+              BENCH*.json reports: newest vs trailing median per stage,
+              non-zero exit when flagged
+              [--threshold PCT] [--window N] [--json]
   root-cause  callstack ranking for a campaign
               --pattern … --procs N --runs N  [--slices K] [--top FRAC]
   replay      record/replay demonstration (ReMPI-style)
@@ -97,7 +107,9 @@ COMMANDS
   trace       export one run's trace as JSON — … [--out FILE]
               anacin trace view FILE  summarise a recorded trace:
               Chrome JSON (per-rank event counts, busiest rank, longest
-              gap, top spans) or .folded (top stacks by self-time)
+              gap, top spans) or .folded (top stacks by self-time);
+              Chrome files stream line-by-line, so multi-GB traces
+              summarise in constant memory
   record      save a run's matching decisions — … --out FILE
               (feed back with: replay --record FILE)
   course      print the course module; --lesson 1..4 runs a use case
@@ -201,6 +213,36 @@ fn write_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
     Ok(())
 }
 
+/// Attach an incremental file sink to `tracer`: `.folded` paths stream
+/// flamegraph stacks, everything else Chrome Trace Event JSON. Records
+/// are drained to disk as the ring is pumped, so memory stays bounded
+/// by one drain chunk however long the campaign runs.
+fn attach_file_sink(path: &str, tracer: &Tracer) -> Result<(), String> {
+    if path.ends_with(".folded") {
+        let sink = anacin_obs::FoldedSink::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        tracer.attach_sink(Box::new(sink));
+    } else {
+        let sink = anacin_obs::ChromeJsonSink::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        tracer.attach_sink(Box::new(sink));
+    }
+    Ok(())
+}
+
+/// Drain whatever the pump has not yet delivered, close the sink's
+/// document, and report the drain accounting.
+fn finish_file_sink(path: &str, tracer: &Tracer) -> Result<(), String> {
+    let stats = tracer
+        .finish_sink()
+        .map_err(|e| format!("streaming trace to {path} failed: {e}"))?;
+    eprintln!(
+        "trace streamed to {path} ({} event(s) written, {} lost to ring overflow)",
+        stats.drained, stats.lost
+    );
+    Ok(())
+}
+
 /// Write the registry's report as pretty JSON and print the per-stage
 /// summary table to stderr (stderr so `--json` stdout stays parseable).
 fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
@@ -256,22 +298,41 @@ fn cmd_run_streaming(args: &Args) -> Result<(), String> {
     let cfg = campaign_of(args)?;
     let metrics = metrics_of(args);
     let tracer = tracer_of(args)?;
+    let progress = args.flag("progress");
     let reg = match (&metrics, &tracer) {
         (Some((_, reg)), _) => Some(reg.clone()),
         (None, Some(_)) => Some(MetricsRegistry::new()),
+        (None, None) if progress => Some(MetricsRegistry::new()),
         (None, None) => None,
     };
     if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
         reg.attach_tracer(t);
     }
+    // Streamed runs never materialise a full trace, so the exporter
+    // can't either: attach an incremental file sink that the simulator
+    // pumps records into as they are recorded, keeping the exporter's
+    // footprint at one drain chunk regardless of campaign size.
+    if let Some((path, t)) = &tracer {
+        attach_file_sink(path, t)?;
+    }
+    let reporter = reg.as_ref().filter(|_| progress).map(|reg| {
+        anacin_obs::ProgressReporter::start(
+            reg,
+            cfg.runs as u64,
+            std::time::Duration::from_millis(250),
+        )
+    });
     let result =
-        run_campaign_streaming_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
-            .map_err(|e| e.to_string())?;
+        run_campaign_streaming_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0);
+    if let Some(r) = reporter {
+        r.finish();
+    }
+    let result = result.map_err(|e| e.to_string())?;
     if let Some((path, reg)) = &metrics {
         write_metrics(path, reg)?;
     }
     if let Some((path, t)) = &tracer {
-        write_trace(path, t)?;
+        finish_file_sink(path, t)?;
     }
     let m = NdMeasurement::from_matrix(
         format!("{} @ {}%", cfg.pattern, cfg.nd_percent),
@@ -311,11 +372,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = campaign_of(args)?;
     let metrics = metrics_of(args);
     let tracer = tracer_of(args)?;
+    let progress = args.flag("progress");
     // Tracing needs a registry for wall-clock spans even when no metrics
-    // file was requested; spin up an internal one in that case.
+    // file was requested; spin up an internal one in that case. The
+    // live progress line reads the same registry.
     let reg = match (&metrics, &tracer) {
         (Some((_, reg)), _) => Some(reg.clone()),
         (None, Some(_)) => Some(MetricsRegistry::new()),
+        (None, None) if progress => Some(MetricsRegistry::new()),
         (None, None) => None,
     };
     if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
@@ -331,6 +395,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
+    let reporter = reg.as_ref().filter(|_| progress).map(|reg| {
+        anacin_obs::ProgressReporter::start(
+            reg,
+            cfg.runs as u64,
+            std::time::Duration::from_millis(250),
+        )
+    });
     let result = match &store {
         Some((_, store)) => run_campaign_incremental_observed(
             &cfg,
@@ -339,10 +410,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             tracer.as_ref().map(|(_, t)| t),
             0,
         )
-        .map_err(|e| e.to_string())?,
+        .map_err(|e| e.to_string()),
         None => run_campaign_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
-            .map_err(|e| e.to_string())?,
+            .map_err(|e| e.to_string()),
     };
+    if let Some(r) = reporter {
+        r.finish();
+    }
+    let result = result?;
     // `--explore`: enumerate the schedule space of the same setting and
     // relate the sample to it (worst case, coverage, containment).
     let explored = if args.flag("explore") {
@@ -762,7 +837,34 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             println!("wrote {path}");
             Ok(())
         }
-        _ => Err("bench requires an action: 'baseline'".to_string()),
+        Some("trend") => {
+            let dir = args
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or(".")
+                .to_string();
+            let cfg = anacin_bench::TrendConfig {
+                threshold_pct: args.get_parsed("threshold", 30.0f64)?,
+                window: args.get_parsed("window", 5usize)?,
+            };
+            let report = anacin_bench::analyze_dir(&dir, &cfg)?;
+            if args.flag("json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print!("{}", anacin_bench::render_trend_table(&report));
+            }
+            if report.regressions > 0 {
+                // Non-zero exit so a CI step fails on a flagged series.
+                return Err(format!(
+                    "{} performance regression(s) flagged (threshold {}%, window {})",
+                    report.regressions, cfg.threshold_pct, cfg.window
+                ));
+            }
+            Ok(())
+        }
+        _ => Err("bench requires an action: 'baseline' or 'trend'".to_string()),
     }
 }
 
@@ -1131,11 +1233,11 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
             .positional
             .get(1)
             .ok_or("trace view requires a FILE argument")?;
-        let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let summary = if path.ends_with(".folded") {
+            let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             folded_view_summary(&data).map_err(|e| format!("{path}: {e}"))?
         } else {
-            trace_view_summary(&data).map_err(|e| format!("{path}: {e}"))?
+            trace_view_streaming(path).map_err(|e| format!("{path}: {e}"))?
         };
         print!("{summary}");
         return Ok(());
@@ -1151,32 +1253,60 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     write_out(args, &json)
 }
 
-/// Render the ASCII summary of a recorded Chrome trace: per-rank event
-/// counts with proportional bars, the busiest rank, the longest inter-event
-/// gap on any rank, and the top-5 wall-clock spans by total time.
-fn trace_view_summary(data: &str) -> Result<String, String> {
-    use serde::map_get;
-    let doc = serde_json::from_str_value(data).map_err(|e| e.to_string())?;
-    let root = doc.as_object().ok_or("trace root must be an object")?;
-    let events = map_get(root, "traceEvents")
-        .as_array()
-        .ok_or("missing traceEvents array")?;
-    // (run pid, rank tid) -> event timestamps (µs, in file order).
-    let mut rank_ts: Vec<((i128, i128), Vec<f64>)> = Vec::new();
-    // wall span name -> (count, total µs); B/E matched per (tid, name) stack.
-    let mut open: Vec<((i128, String), Vec<f64>)> = Vec::new();
-    let mut span_totals: Vec<(String, u64, f64)> = Vec::new();
-    for ev in events {
-        let Some(obj) = ev.as_object() else { continue };
+/// Scalar per-track aggregates of a Chrome trace's sim events. Holding
+/// only these (never the timestamps themselves) is what lets `trace
+/// view` stream arbitrarily large exports in constant memory per track.
+#[derive(Clone, Copy)]
+struct TrackAgg {
+    count: usize,
+    min_ts: f64,
+    max_ts: f64,
+    /// Previous event's timestamp, for the incremental gap (timestamps
+    /// are monotone per track by construction).
+    last_ts: f64,
+    max_gap: f64,
+}
+
+/// Incremental `trace view` state: feed events one at a time (from a
+/// whole document or a streamed line), render once at the end.
+#[derive(Default)]
+struct TraceViewAgg {
+    // (run pid, rank tid) -> scalar aggregates.
+    tracks: Vec<((i128, i128), TrackAgg)>,
+    // wall span B/E matching, per (tid, name) stack.
+    open: Vec<((i128, String), Vec<f64>)>,
+    span_totals: Vec<(String, u64, f64)>,
+}
+
+impl TraceViewAgg {
+    /// Ingest one trace event object.
+    fn add(&mut self, ev: &serde::Value) {
+        use serde::map_get;
+        let Some(obj) = ev.as_object() else { return };
         let ph = map_get(obj, "ph").as_str().unwrap_or("");
         let cat = map_get(obj, "cat").as_str().unwrap_or("");
         if cat == "sim" && ph == "X" {
             let pid = map_get(obj, "pid").as_int().unwrap_or(0);
             let tid = map_get(obj, "tid").as_int().unwrap_or(0);
             let ts = map_get(obj, "ts").as_f64().unwrap_or(0.0);
-            match rank_ts.iter_mut().find(|(k, _)| *k == (pid, tid)) {
-                Some((_, v)) => v.push(ts),
-                None => rank_ts.push(((pid, tid), vec![ts])),
+            match self.tracks.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+                Some((_, t)) => {
+                    t.count += 1;
+                    t.min_ts = t.min_ts.min(ts);
+                    t.max_ts = t.max_ts.max(ts);
+                    t.max_gap = t.max_gap.max(ts - t.last_ts);
+                    t.last_ts = ts;
+                }
+                None => self.tracks.push((
+                    (pid, tid),
+                    TrackAgg {
+                        count: 1,
+                        min_ts: ts,
+                        max_ts: ts,
+                        last_ts: ts,
+                        max_gap: 0.0,
+                    },
+                )),
             }
         } else if cat == "wall" && (ph == "B" || ph == "E") {
             let tid = map_get(obj, "tid").as_int().unwrap_or(0);
@@ -1184,103 +1314,144 @@ fn trace_view_summary(data: &str) -> Result<String, String> {
             let ts = map_get(obj, "ts").as_f64().unwrap_or(0.0);
             let key = (tid, name.clone());
             if ph == "B" {
-                match open.iter_mut().find(|(k, _)| *k == key) {
+                match self.open.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, v)) => v.push(ts),
-                    None => open.push((key, vec![ts])),
+                    None => self.open.push((key, vec![ts])),
                 }
-            } else if let Some(begin) = open
+            } else if let Some(begin) = self
+                .open
                 .iter_mut()
                 .find(|(k, _)| *k == key)
                 .and_then(|(_, v)| v.pop())
             {
                 let dur = (ts - begin).max(0.0);
-                match span_totals.iter_mut().find(|(n, _, _)| *n == name) {
+                match self.span_totals.iter_mut().find(|(n, _, _)| *n == name) {
                     Some((_, c, t)) => {
                         *c += 1;
                         *t += dur;
                     }
-                    None => span_totals.push((name, 1, dur)),
+                    None => self.span_totals.push((name, 1, dur)),
                 }
             }
         }
     }
-    if rank_ts.is_empty() && span_totals.is_empty() {
-        return Err("no sim events or wall spans found (is this an anacin trace?)".to_string());
-    }
-    rank_ts.sort_by_key(|a| a.0);
-    let mut out = String::new();
-    let runs: Vec<i128> = {
-        let mut v: Vec<i128> = rank_ts.iter().map(|((pid, _), _)| *pid).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
-    let total_events: usize = rank_ts.iter().map(|(_, v)| v.len()).sum();
-    out.push_str(&format!(
-        "sim events: {} across {} run(s), {} rank track(s)\n",
-        total_events,
-        runs.len(),
-        rank_ts.len()
-    ));
-    let max_count = rank_ts.iter().map(|(_, v)| v.len()).max().unwrap_or(1);
-    for ((pid, tid), ts) in &rank_ts {
-        let bar_len = (ts.len() * 40 / max_count.max(1)).max(1);
-        let span_us = match (
-            ts.iter().cloned().reduce(f64::min),
-            ts.iter().cloned().reduce(f64::max),
-        ) {
-            (Some(lo), Some(hi)) => hi - lo,
-            _ => 0.0,
-        };
-        out.push_str(&format!(
-            "  run {:>3} rank {:>3}: {:>6} events  {:<40}  [{:.1} µs sim-time]\n",
-            pid - 1000,
-            tid,
-            ts.len(),
-            "#".repeat(bar_len),
-            span_us
-        ));
-    }
-    if let Some(((pid, tid), v)) = rank_ts.iter().max_by_key(|(_, v)| v.len()) {
-        out.push_str(&format!(
-            "busiest rank: run {} rank {} ({} events)\n",
-            pid - 1000,
-            tid,
-            v.len()
-        ));
-    }
-    // Longest gap between consecutive events on any single rank track
-    // (timestamps are monotone per track by construction).
-    let mut longest: Option<((i128, i128), f64)> = None;
-    for ((pid, tid), ts) in &rank_ts {
-        for w in ts.windows(2) {
-            let gap = w[1] - w[0];
-            if longest.as_ref().is_none_or(|(_, g)| gap > *g) {
-                longest = Some(((*pid, *tid), gap));
-            }
+
+    /// Render the ASCII summary: per-rank event counts with proportional
+    /// bars, the busiest rank, the longest inter-event gap on any rank,
+    /// and the top-5 wall-clock spans by total time.
+    fn render(mut self) -> Result<String, String> {
+        if self.tracks.is_empty() && self.span_totals.is_empty() {
+            return Err("no sim events or wall spans found (is this an anacin trace?)".to_string());
         }
-    }
-    if let Some(((pid, tid), gap)) = longest {
+        self.tracks.sort_by_key(|a| a.0);
+        let mut out = String::new();
+        let runs: Vec<i128> = {
+            let mut v: Vec<i128> = self.tracks.iter().map(|((pid, _), _)| *pid).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let total_events: usize = self.tracks.iter().map(|(_, t)| t.count).sum();
         out.push_str(&format!(
-            "longest gap: {:.3} µs on run {} rank {}\n",
-            gap,
-            pid - 1000,
-            tid
+            "sim events: {} across {} run(s), {} rank track(s)\n",
+            total_events,
+            runs.len(),
+            self.tracks.len()
         ));
-    }
-    if !span_totals.is_empty() {
-        span_totals.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
-        out.push_str("top spans by total wall time:\n");
-        for (name, count, total_us) in span_totals.iter().take(5) {
+        let max_count = self.tracks.iter().map(|(_, t)| t.count).max().unwrap_or(1);
+        for ((pid, tid), t) in &self.tracks {
+            let bar_len = (t.count * 40 / max_count.max(1)).max(1);
             out.push_str(&format!(
-                "  {:<34} {:>6} x {:>12.3} ms\n",
-                name,
-                count,
-                total_us / 1e3
+                "  run {:>3} rank {:>3}: {:>6} events  {:<40}  [{:.1} µs sim-time]\n",
+                pid - 1000,
+                tid,
+                t.count,
+                "#".repeat(bar_len),
+                t.max_ts - t.min_ts
             ));
         }
+        if let Some(((pid, tid), t)) = self.tracks.iter().max_by_key(|(_, t)| t.count) {
+            out.push_str(&format!(
+                "busiest rank: run {} rank {} ({} events)\n",
+                pid - 1000,
+                tid,
+                t.count
+            ));
+        }
+        let longest = self
+            .tracks
+            .iter()
+            .filter(|(_, t)| t.count > 1)
+            .max_by(|a, b| a.1.max_gap.total_cmp(&b.1.max_gap));
+        if let Some(((pid, tid), t)) = longest {
+            out.push_str(&format!(
+                "longest gap: {:.3} µs on run {} rank {}\n",
+                t.max_gap,
+                pid - 1000,
+                tid
+            ));
+        }
+        if !self.span_totals.is_empty() {
+            self.span_totals
+                .sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+            out.push_str("top spans by total wall time:\n");
+            for (name, count, total_us) in self.span_totals.iter().take(5) {
+                out.push_str(&format!(
+                    "  {:<34} {:>6} x {:>12.3} ms\n",
+                    name,
+                    count,
+                    total_us / 1e3
+                ));
+            }
+        }
+        Ok(out)
     }
-    Ok(out)
+}
+
+/// Summarise a Chrome trace file by streaming it line by line — anacin
+/// exports (and most Chrome traces) hold one event per line, so a
+/// multi-gigabyte streamed trace summarises without ever being resident.
+/// Falls back to whole-document parsing when no per-line events parse
+/// (e.g. pretty-printed JSON from another tool).
+fn trace_view_streaming(path: &str) -> Result<String, String> {
+    use std::io::BufRead as _;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let reader = std::io::BufReader::new(file);
+    let mut agg = TraceViewAgg::default();
+    let mut parsed = 0u64;
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let body = line.trim().trim_end_matches(',');
+        // Skip the document scaffolding; event lines are objects with a
+        // "ph" phase field.
+        if !body.starts_with('{') || !body.ends_with('}') || !body.contains("\"ph\"") {
+            continue;
+        }
+        let Ok(ev) = serde_json::from_str_value(body) else {
+            continue;
+        };
+        agg.add(&ev);
+        parsed += 1;
+    }
+    if parsed == 0 {
+        return trace_view_summary(&std::fs::read_to_string(path).map_err(|e| e.to_string())?);
+    }
+    agg.render()
+}
+
+/// Whole-document fallback for traces that aren't one-event-per-line.
+fn trace_view_summary(data: &str) -> Result<String, String> {
+    use serde::map_get;
+    let doc = serde_json::from_str_value(data).map_err(|e| e.to_string())?;
+    let root = doc.as_object().ok_or("trace root must be an object")?;
+    let events = map_get(root, "traceEvents")
+        .as_array()
+        .ok_or("missing traceEvents array")?;
+    let mut agg = TraceViewAgg::default();
+    for ev in events {
+        agg.add(ev);
+    }
+    agg.render()
 }
 
 /// Render the ASCII summary of a folded-stacks file (`a;b;c <self-µs>`

@@ -274,6 +274,13 @@ impl Trace {
     /// completed, so tracing cannot perturb simulated time or the
     /// injection RNG by construction.
     pub fn record_into(&self, tracer: &Tracer, run: u32) {
+        // When a streaming sink is attached, pump the ring every few
+        // thousand records so the drain cursor keeps pace with recording
+        // and a bounded ring never overflows mid-run. Recording happens
+        // after the simulation finished, so pumping cannot perturb
+        // simulated time.
+        const PUMP_EVERY: usize = 4096;
+        let mut since_pump = 0usize;
         for (id, e) in self.iter() {
             let kind = match e.kind {
                 EventKind::Init => SimEventKind::Init,
@@ -296,7 +303,13 @@ impl Trace {
                 kind,
                 t_ns: e.time.nanos(),
             }));
+            since_pump += 1;
+            if since_pump >= PUMP_EVERY {
+                since_pump = 0;
+                tracer.pump();
+            }
         }
+        tracer.pump();
     }
 
     /// Check internal consistency: every receive's `send_event` must point

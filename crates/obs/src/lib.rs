@@ -44,11 +44,17 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
+pub mod progress;
+pub mod sink;
 pub mod tracer;
 
+pub use hist::{HistBucket, LatencyHistogram};
+pub use progress::{MetricsDelta, ProgressReporter};
+pub use sink::{ChromeJsonSink, CountingWriter, FoldedSink, SharedBuffer, TraceSink};
 pub use tracer::{
-    current_thread_id, message_id, MatchedSpan, SimEvent, SimEventKind, SpanMark, TraceRecord,
-    TraceSnapshot, Tracer, DEFAULT_CAPACITY,
+    current_thread_id, message_id, DrainStats, MatchedSpan, SimEvent, SimEventKind, SpanMark,
+    TraceRecord, TraceSnapshot, Tracer, DEFAULT_CAPACITY,
 };
 
 use serde::{Deserialize, Serialize};
@@ -65,13 +71,16 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Accumulated statistics of one named span.
-#[derive(Debug, Clone, Default)]
+/// Accumulated statistics of one named span. The histogram is shared
+/// (`Arc`) and bucket increments are lock-free atomics, so quantile
+/// tracking adds one relaxed `fetch_add` to the span record path.
+#[derive(Clone, Default)]
 struct SpanAccum {
     count: u64,
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    hist: Arc<LatencyHistogram>,
 }
 
 #[derive(Default)]
@@ -175,6 +184,7 @@ impl MetricsRegistry {
         }
         acc.count += 1;
         acc.total_ns += elapsed_ns;
+        acc.hist.record(elapsed_ns);
     }
 
     /// Snapshot every instrument into a serialisable report. Entries are
@@ -208,17 +218,25 @@ impl MetricsRegistry {
             .lock()
             .expect("span map poisoned")
             .iter()
-            .map(|(name, a)| SpanSample {
-                name: name.clone(),
-                count: a.count,
-                total_ns: a.total_ns,
-                mean_ns: if a.count == 0 {
-                    0.0
-                } else {
-                    a.total_ns as f64 / a.count as f64
-                },
-                min_ns: a.min_ns,
-                max_ns: a.max_ns,
+            .map(|(name, a)| {
+                let buckets = a.hist.sparse();
+                let (p50_ns, p95_ns, p99_ns) = hist::percentiles_sparse(&buckets);
+                SpanSample {
+                    name: name.clone(),
+                    count: a.count,
+                    total_ns: a.total_ns,
+                    mean_ns: if a.count == 0 {
+                        0.0
+                    } else {
+                        a.total_ns as f64 / a.count as f64
+                    },
+                    min_ns: a.min_ns,
+                    max_ns: a.max_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
+                    hist: buckets,
+                }
             })
             .collect();
         MetricsReport {
@@ -320,6 +338,16 @@ pub struct SpanSample {
     pub min_ns: u64,
     /// Longest interval, nanoseconds.
     pub max_ns: u64,
+    /// Median interval from the log-bucketed histogram (bucket lower
+    /// bound — ≤ ~3.2% below the true quantile, never above the max).
+    pub p50_ns: u64,
+    /// 95th-percentile interval (same error bound as `p50_ns`).
+    pub p95_ns: u64,
+    /// 99th-percentile interval (same error bound as `p50_ns`).
+    pub p99_ns: u64,
+    /// Sparse latency histogram (non-empty buckets, index order); the
+    /// source of truth for re-deriving quantiles after [`MetricsReport::merge`].
+    pub hist: Vec<HistBucket>,
 }
 
 /// A point-in-time snapshot of a [`MetricsRegistry`], ready to serialise.
@@ -389,8 +417,8 @@ impl MetricsReport {
         if !self.spans.is_empty() {
             let _ = writeln!(
                 s,
-                "{:<name_w$} {:>8} {:>12} {:>12}",
-                "span", "count", "total(ms)", "mean(ms)"
+                "{:<name_w$} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                "span", "count", "total(ms)", "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)"
             );
             for sp in &self.spans {
                 let mean_ns = if sp.count == 0 {
@@ -400,11 +428,14 @@ impl MetricsReport {
                 };
                 let _ = writeln!(
                     s,
-                    "{:<name_w$} {:>8} {:>12.3} {:>12.3}",
+                    "{:<name_w$} {:>8} {:>12.3} {:>12.3} {:>10.3} {:>10.3} {:>10.3}",
                     sp.name,
                     sp.count,
                     ms(sp.total_ns),
-                    mean_ns / 1e6
+                    mean_ns / 1e6,
+                    ms(sp.p50_ns),
+                    ms(sp.p95_ns),
+                    ms(sp.p99_ns)
                 );
             }
         }
@@ -564,6 +595,10 @@ mod tests {
                     mean_ns: f64::NAN, // hostile deserialised input
                     min_ns: 0,
                     max_ns: 0,
+                    p50_ns: 0,
+                    p95_ns: 0,
+                    p99_ns: 0,
+                    hist: vec![],
                 },
                 SpanSample {
                     name: "sim".to_string(),
@@ -572,6 +607,10 @@ mod tests {
                     mean_ns: 2_000_000.0,
                     min_ns: 1,
                     max_ns: 3,
+                    p50_ns: 1,
+                    p95_ns: 3,
+                    p99_ns: 3,
+                    hist: vec![],
                 },
             ],
         };

@@ -1,0 +1,354 @@
+//! Streaming trace sinks: incremental, bounded-memory export of the
+//! tracer ring.
+//!
+//! A [`TraceSink`] consumes [`TraceRecord`]s as the chunked drain
+//! ([`crate::Tracer::pump`]) hands them over, so a campaign's trace goes
+//! to disk *during* the run instead of accumulating for one end-of-run
+//! snapshot — the difference between tracing working and not working at
+//! 1024 ranks / tens of millions of events.
+//!
+//! Two file formats, matching the snapshot exporters byte-for-byte:
+//!
+//! * [`ChromeJsonSink`] — Chrome Trace Event JSON. Simulated events are
+//!   written the moment they drain (memory stays O(runs × ranks) for the
+//!   track-metadata dedup sets); wall-clock span marks are buffered
+//!   (O(runs × stages), tiny) because begin/end balancing needs the
+//!   whole sequence. Every event line is produced by the same formatting
+//!   helpers as [`crate::TraceSnapshot::chrome_trace`], so the streamed
+//!   file equals the snapshot export after a canonical line sort.
+//! * [`FoldedSink`] — folded flamegraph stacks, byte-identical to
+//!   [`crate::TraceSnapshot::folded_stacks`] (derived wholly from the
+//!   buffered span marks).
+//!
+//! [`CountingWriter`] backs overhead benchmarks: full formatting work,
+//! bytes counted and discarded.
+
+use crate::tracer::{
+    chrome_rank_meta, chrome_run_meta, chrome_sim_flow, chrome_sim_slice, chrome_wall_events,
+    folded_from_spans, DrainStats, SpanMark, TraceRecord, CHROME_FOOTER, CHROME_HEADER,
+};
+use std::collections::HashSet;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A consumer of drained trace records (see [`crate::Tracer::attach_sink`]).
+///
+/// `accept` is called once per record in claim order; `finish` exactly
+/// once after the final drain, with the drain accounting. Implementations
+/// must tolerate `accept` never being called (empty trace).
+pub trait TraceSink: Send {
+    /// Consume one record.
+    fn accept(&mut self, record: &TraceRecord) -> io::Result<()>;
+    /// Finalise the output (write trailers, flush).
+    fn finish(&mut self, stats: &DrainStats) -> io::Result<()>;
+}
+
+/// Incremental Chrome Trace Event JSON writer.
+pub struct ChromeJsonSink<W: Write + Send> {
+    w: W,
+    include_wall: bool,
+    wrote_event: bool,
+    seen_runs: HashSet<u32>,
+    seen_tracks: HashSet<(u32, u32)>,
+    spans: Vec<(bool, SpanMark)>,
+}
+
+impl ChromeJsonSink<BufWriter<std::fs::File>> {
+    /// Create `path` and stream a Chrome JSON trace into it (wall-clock
+    /// span section included, matching the CLI snapshot export).
+    pub fn create(path: &str) -> io::Result<Self> {
+        Self::new(BufWriter::new(std::fs::File::create(path)?), true)
+    }
+}
+
+impl<W: Write + Send> ChromeJsonSink<W> {
+    /// Wrap `w`; writes the document header immediately. `include_wall`
+    /// controls whether the wall-clock span section is emitted at
+    /// finish.
+    pub fn new(mut w: W, include_wall: bool) -> io::Result<Self> {
+        w.write_all(CHROME_HEADER.as_bytes())?;
+        Ok(ChromeJsonSink {
+            w,
+            include_wall,
+            wrote_event: false,
+            seen_runs: HashSet::new(),
+            seen_tracks: HashSet::new(),
+            spans: Vec::new(),
+        })
+    }
+
+    fn write_event(&mut self, event: &str) -> io::Result<()> {
+        if self.wrote_event {
+            self.w.write_all(b",\n")?;
+        }
+        self.wrote_event = true;
+        self.w.write_all(event.as_bytes())
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeJsonSink<W> {
+    fn accept(&mut self, record: &TraceRecord) -> io::Result<()> {
+        match record {
+            TraceRecord::Sim(e) => {
+                if self.seen_runs.insert(e.run) {
+                    let meta = chrome_run_meta(e.run, e.seed);
+                    self.write_event(&meta)?;
+                }
+                if self.seen_tracks.insert((e.run, e.rank)) {
+                    let meta = chrome_rank_meta(e.run, e.rank);
+                    self.write_event(&meta)?;
+                }
+                let slice = chrome_sim_slice(e);
+                self.write_event(&slice)?;
+                if let Some(flow) = chrome_sim_flow(e) {
+                    self.write_event(&flow)?;
+                }
+            }
+            TraceRecord::SpanBegin(m) => {
+                if self.include_wall {
+                    self.spans.push((false, m.clone()));
+                }
+            }
+            TraceRecord::SpanEnd(m) => {
+                if self.include_wall {
+                    self.spans.push((true, m.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _stats: &DrainStats) -> io::Result<()> {
+        if self.include_wall {
+            for event in chrome_wall_events(&self.spans) {
+                self.write_event(&event)?;
+            }
+        }
+        self.w.write_all(CHROME_FOOTER.as_bytes())?;
+        self.w.flush()
+    }
+}
+
+/// Incremental folded-stacks writer. Span marks are buffered (small —
+/// two per pipeline span instance) because self-time needs matched
+/// pairs; simulated events are discarded on arrival, so memory stays
+/// bounded at any event volume.
+pub struct FoldedSink<W: Write + Send> {
+    w: W,
+    spans: Vec<(bool, SpanMark)>,
+}
+
+impl FoldedSink<BufWriter<std::fs::File>> {
+    /// Create `path` and stream folded stacks into it.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> FoldedSink<W> {
+    /// Wrap `w`; the file is written at finish.
+    pub fn new(w: W) -> Self {
+        FoldedSink {
+            w,
+            spans: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for FoldedSink<W> {
+    fn accept(&mut self, record: &TraceRecord) -> io::Result<()> {
+        match record {
+            TraceRecord::SpanBegin(m) => self.spans.push((false, m.clone())),
+            TraceRecord::SpanEnd(m) => self.spans.push((true, m.clone())),
+            TraceRecord::Sim(_) => {}
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _stats: &DrainStats) -> io::Result<()> {
+        self.w
+            .write_all(folded_from_spans(&self.spans).as_bytes())?;
+        self.w.flush()
+    }
+}
+
+/// A `Write` that counts bytes and discards them; the shared counter
+/// outlives the sink. Backs trace-overhead benchmarks: the full
+/// formatting cost is paid, nothing touches the filesystem.
+#[derive(Clone)]
+pub struct CountingWriter {
+    bytes: Arc<AtomicU64>,
+}
+
+impl CountingWriter {
+    /// A writer feeding the shared byte counter `bytes`.
+    pub fn new(bytes: Arc<AtomicU64>) -> Self {
+        CountingWriter { bytes }
+    }
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A `Write` into a shared in-memory buffer, retrievable after the sink
+/// is consumed (tests compare streamed output against snapshots).
+#[derive(Clone, Default)]
+pub struct SharedBuffer {
+    buf: Arc<std::sync::Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock().expect("shared buffer poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf
+            .lock()
+            .expect("shared buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{SimEvent, SimEventKind, Tracer};
+
+    fn sim(run: u32, rank: u32, idx: u32) -> TraceRecord {
+        TraceRecord::Sim(SimEvent {
+            run,
+            seed: 7,
+            rank,
+            idx,
+            kind: SimEventKind::Init,
+            t_ns: idx as u64 * 10,
+        })
+    }
+
+    /// Strip trailing commas and sort: the canonical form under which a
+    /// streamed export equals the snapshot export.
+    fn canonical_lines(s: &str) -> Vec<String> {
+        let mut v: Vec<String> = s
+            .lines()
+            .map(|l| l.trim_end_matches(',').to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn streamed_chrome_equals_snapshot_after_sort() {
+        let t = Tracer::with_capacity(256);
+        let buf = SharedBuffer::new();
+        t.attach_sink(Box::new(ChromeJsonSink::new(buf.clone(), true).unwrap()));
+        t.span_begin("campaign");
+        for run in 0..2 {
+            for rank in 0..3 {
+                for idx in 0..4 {
+                    t.record(sim(run, rank, idx));
+                }
+            }
+            t.pump();
+        }
+        t.span_end("campaign");
+        let stats = t.finish_sink().unwrap();
+        assert_eq!(stats.lost, 0);
+        assert_eq!(stats.pending, 0);
+        let snap = t.snapshot().chrome_trace(true);
+        assert_eq!(canonical_lines(&buf.contents()), canonical_lines(&snap));
+    }
+
+    #[test]
+    fn streamed_folded_is_byte_identical_to_snapshot() {
+        let t = Tracer::with_capacity(64);
+        let buf = SharedBuffer::new();
+        t.attach_sink(Box::new(FoldedSink::new(buf.clone())));
+        t.span_begin("campaign");
+        t.record(TraceRecord::SpanBegin(SpanMark {
+            path: "campaign/simulate".into(),
+            thread: crate::current_thread_id(),
+            t_ns: t.now_ns(),
+        }));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.record(TraceRecord::SpanEnd(SpanMark {
+            path: "campaign/simulate".into(),
+            thread: crate::current_thread_id(),
+            t_ns: t.now_ns(),
+        }));
+        t.span_end("campaign");
+        t.finish_sink().unwrap();
+        assert_eq!(buf.contents(), t.snapshot().folded_stacks());
+        assert!(buf.contents().contains("campaign;simulate "));
+    }
+
+    #[test]
+    fn empty_stream_is_a_valid_document() {
+        let t = Tracer::with_capacity(16);
+        let buf = SharedBuffer::new();
+        t.attach_sink(Box::new(ChromeJsonSink::new(buf.clone(), true).unwrap()));
+        t.finish_sink().unwrap();
+        assert_eq!(buf.contents(), t.snapshot().chrome_trace(true));
+    }
+
+    #[test]
+    fn counting_writer_counts_formatted_bytes() {
+        let bytes = Arc::new(AtomicU64::new(0));
+        let t = Tracer::with_capacity(64);
+        t.attach_sink(Box::new(
+            ChromeJsonSink::new(CountingWriter::new(Arc::clone(&bytes)), false).unwrap(),
+        ));
+        for idx in 0..8 {
+            t.record(sim(0, 0, idx));
+        }
+        t.finish_sink().unwrap();
+        let expected = t.snapshot().chrome_trace(false).len() as u64;
+        assert_eq!(bytes.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn failing_sink_surfaces_from_finish() {
+        struct Failing;
+        impl TraceSink for Failing {
+            fn accept(&mut self, _r: &TraceRecord) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+            fn finish(&mut self, _s: &DrainStats) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let t = Tracer::with_capacity(16);
+        t.attach_sink(Box::new(Failing));
+        t.record(sim(0, 0, 0));
+        let err = t.finish_sink().unwrap_err();
+        assert!(err.contains("disk full"), "{err}");
+    }
+
+    #[test]
+    fn finish_without_sink_is_an_error() {
+        let t = Tracer::with_capacity(16);
+        assert!(t.finish_sink().is_err());
+    }
+}

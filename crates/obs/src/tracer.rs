@@ -30,15 +30,20 @@
 //! simulated time or the injection RNG. A traced run is bit-identical to
 //! a plain run; `tests/tracing.rs` asserts this differentially.
 
+use crate::sink::TraceSink;
 use crate::MetricsReport;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Default ring capacity (records). At roughly 100 bytes per record this
 /// bounds a tracer at ~25 MB.
 pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Records per [`Tracer::pump`] drain batch: large enough to amortise the
+/// drain lock, small enough to bound the copied chunk.
+const DRAIN_BATCH: usize = 4096;
 
 static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
 
@@ -152,6 +157,35 @@ pub enum TraceRecord {
 /// A ring slot: the claim index plus the record written under it.
 type Slot = Mutex<Option<(u64, TraceRecord)>>;
 
+/// The chunked-drain consumer's position. The cursor is the next claim
+/// index to hand out; `drained + lost == cursor` is the asserted
+/// invariant — every index below the cursor was accounted exactly once.
+#[derive(Debug, Default)]
+struct DrainState {
+    cursor: u64,
+    drained: u64,
+    lost: u64,
+}
+
+/// Accounting of the chunked drain consumer ([`Tracer::drain_stats`]).
+///
+/// `recorded == drained + lost + pending` always holds (the ISSUE-form
+/// `recorded − dropped == drained + len` with `dropped = lost` and
+/// `len = pending`): every record ever claimed is either delivered to
+/// the consumer, lost (overwritten by wrap or never published), or still
+/// ahead of the cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Records delivered to the consumer so far.
+    pub drained: u64,
+    /// Records the consumer will never see: overwritten by wrap before
+    /// the cursor reached them, or written off as unpublished by
+    /// [`Tracer::drain_remaining`].
+    pub lost: u64,
+    /// Records still ahead of the cursor at stat time.
+    pub pending: u64,
+}
+
 struct TracerInner {
     epoch: Instant,
     capacity: u64,
@@ -165,6 +199,16 @@ struct TracerInner {
     /// write path non-blocking (a contended slot drops the record
     /// instead of waiting).
     slots: Box<[Slot]>,
+    /// Chunked-drain consumer position (one consumer; sinks and manual
+    /// drains share it).
+    drain: Mutex<DrainState>,
+    /// The attached streaming sink, if any.
+    sink: Mutex<Option<Box<dyn TraceSink>>>,
+    /// Fast-path flag mirroring `sink.is_some()`, so `pump()` costs one
+    /// relaxed load when no sink is attached.
+    has_sink: AtomicBool,
+    /// First sink I/O error, if any; reported by [`Tracer::finish_sink`].
+    sink_error: Mutex<Option<String>>,
 }
 
 /// A bounded, thread-safe execution tracer. Cloning yields another handle
@@ -202,6 +246,10 @@ impl Tracer {
                 head: AtomicU64::new(0),
                 collisions: AtomicU64::new(0),
                 slots,
+                drain: Mutex::new(DrainState::default()),
+                sink: Mutex::new(None),
+                has_sink: AtomicBool::new(false),
+                sink_error: Mutex::new(None),
             }),
         }
     }
@@ -304,6 +352,187 @@ impl Tracer {
             dropped: head - valid,
         }
     }
+
+    /// Drain up to `max` published records past the consumer cursor, in
+    /// claim order. Stops early at the first slot still being written
+    /// (concurrent drain is safe: the next call resumes there). Records
+    /// the cursor was lapped past are counted as lost and skipped, so a
+    /// slow consumer falls behind but never stalls the ring.
+    ///
+    /// Draining does not remove records from the ring — a later
+    /// [`Tracer::snapshot`] still sees everything the ring retains.
+    pub fn drain(&self, max: usize) -> Vec<TraceRecord> {
+        self.drain_chunk(max, false)
+    }
+
+    /// Like [`Tracer::drain`], but treats unpublished slots as lost
+    /// instead of stopping: a writer that collided on its slot never
+    /// publishes it, which would stall a prefix-only drain forever. Call
+    /// only once writers have quiesced (end of run).
+    pub fn drain_remaining(&self, max: usize) -> Vec<TraceRecord> {
+        self.drain_chunk(max, true)
+    }
+
+    fn drain_chunk(&self, max: usize, to_end: bool) -> Vec<TraceRecord> {
+        let inner = &*self.inner;
+        let mut st = inner.drain.lock().expect("drain state poisoned");
+        let head = inner.head.load(Ordering::Acquire);
+        let floor = head.saturating_sub(inner.capacity);
+        let mut out = Vec::new();
+        while st.cursor < head && out.len() < max {
+            let i = st.cursor;
+            if i < floor {
+                // Lapped before the consumer got here: the slot now holds
+                // (or will hold) a newer record.
+                st.lost += 1;
+                st.cursor += 1;
+                continue;
+            }
+            let advanced = match inner.slots[(i % inner.capacity) as usize].try_lock() {
+                Ok(guard) => match &*guard {
+                    Some((ci, rec)) if *ci == i => {
+                        out.push(rec.clone());
+                        st.drained += 1;
+                        true
+                    }
+                    Some((ci, _)) if *ci > i => {
+                        // Overwritten between our head load and now.
+                        st.lost += 1;
+                        true
+                    }
+                    // Claimed but not yet published (writer between its
+                    // fetch_add and its slot write, or a collision victim
+                    // whose record will never arrive).
+                    _ => {
+                        if to_end {
+                            st.lost += 1;
+                        }
+                        to_end
+                    }
+                },
+                Err(_) => {
+                    // Writer holds the slot lock right now.
+                    if to_end {
+                        st.lost += 1;
+                    }
+                    to_end
+                }
+            };
+            if !advanced {
+                break;
+            }
+            st.cursor += 1;
+        }
+        debug_assert_eq!(st.drained + st.lost, st.cursor, "drain cursor accounting");
+        out
+    }
+
+    /// The chunked-drain consumer's accounting. The invariant
+    /// `recorded == drained + lost + pending` holds at any quiescent
+    /// point (and is what the drain property tests assert).
+    pub fn drain_stats(&self) -> DrainStats {
+        let st = self.inner.drain.lock().expect("drain state poisoned");
+        let head = self.inner.head.load(Ordering::Acquire);
+        DrainStats {
+            drained: st.drained,
+            lost: st.lost,
+            pending: head - st.cursor,
+        }
+    }
+
+    /// Attach a streaming sink: subsequent [`Tracer::pump`] calls drain
+    /// the ring into it incrementally, and [`Tracer::finish_sink`] flushes
+    /// the tail and finalises the output. One sink at a time; attaching
+    /// replaces any previous one.
+    pub fn attach_sink(&self, sink: Box<dyn TraceSink>) {
+        *self.inner.sink.lock().expect("sink slot poisoned") = Some(sink);
+        self.inner.has_sink.store(true, Ordering::Release);
+    }
+
+    /// Whether a sink is attached and healthy (one relaxed load — cheap
+    /// enough for producers to call per record batch).
+    pub fn has_sink(&self) -> bool {
+        self.inner.has_sink.load(Ordering::Relaxed)
+    }
+
+    /// Drain every published record into the attached sink. Non-blocking
+    /// for producers: with no sink it is one atomic load, and when
+    /// another thread is already pumping it returns immediately (that
+    /// thread will pick up the new records). Returns the records
+    /// delivered by *this* call. Sink I/O errors disable further pumping
+    /// and surface from [`Tracer::finish_sink`].
+    pub fn pump(&self) -> u64 {
+        if !self.has_sink() {
+            return 0;
+        }
+        let Ok(mut guard) = self.inner.sink.try_lock() else {
+            return 0;
+        };
+        let Some(sink) = guard.as_mut() else {
+            return 0;
+        };
+        let mut delivered = 0u64;
+        loop {
+            let chunk = self.drain_chunk(DRAIN_BATCH, false);
+            if chunk.is_empty() {
+                break;
+            }
+            for rec in &chunk {
+                if let Err(e) = sink.accept(rec) {
+                    self.note_sink_error(&e);
+                    return delivered;
+                }
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Drain the tail (including unpublished slots, written off as lost),
+    /// finalise the sink, and detach it. Call once, after the traced work
+    /// has finished. Returns the final drain accounting, or the first
+    /// sink I/O error encountered anywhere in the stream.
+    pub fn finish_sink(&self) -> Result<DrainStats, String> {
+        let mut guard = self.inner.sink.lock().expect("sink slot poisoned");
+        let Some(mut sink) = guard.take() else {
+            return Err("no sink attached".to_string());
+        };
+        self.inner.has_sink.store(false, Ordering::Release);
+        drop(guard);
+        let failed =
+            |e: &Mutex<Option<String>>| e.lock().expect("sink error slot poisoned").clone();
+        loop {
+            if let Some(e) = failed(&self.inner.sink_error) {
+                return Err(e);
+            }
+            let chunk = self.drain_remaining(DRAIN_BATCH);
+            if chunk.is_empty() {
+                break;
+            }
+            for rec in &chunk {
+                if let Err(e) = sink.accept(rec) {
+                    return Err(format!("trace sink: {e}"));
+                }
+            }
+        }
+        let stats = self.drain_stats();
+        sink.finish(&stats)
+            .map_err(|e| format!("trace sink: {e}"))?;
+        Ok(stats)
+    }
+
+    fn note_sink_error(&self, e: &std::io::Error) {
+        let mut slot = self
+            .inner
+            .sink_error
+            .lock()
+            .expect("sink error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(format!("trace sink: {e}"));
+        }
+        // Stop producers from pumping into a broken sink.
+        self.inner.has_sink.store(false, Ordering::Release);
+    }
 }
 
 /// A matched wall-clock span instance reconstructed from begin/end marks.
@@ -343,43 +572,7 @@ impl TraceSnapshot {
     /// overwritten in the ring) are discarded, so the result is always
     /// balanced.
     pub fn matched_spans(&self) -> Vec<MatchedSpan> {
-        // Per-thread stacks of (index into self.spans, begin mark,
-        // accumulated child wall time).
-        type OpenSpan = (usize, u64, u64);
-        let mut stacks: Vec<(u32, Vec<OpenSpan>)> = Vec::new();
-        let mut out = Vec::new();
-        for (i, (is_end, m)) in self.spans.iter().enumerate() {
-            let stack = match stacks.iter_mut().find(|(t, _)| *t == m.thread) {
-                Some((_, s)) => s,
-                None => {
-                    stacks.push((m.thread, Vec::new()));
-                    &mut stacks.last_mut().expect("just pushed").1
-                }
-            };
-            if !*is_end {
-                stack.push((i, m.t_ns, 0));
-            } else if let Some(&(bi, begin_ns, child_ns)) = stack.last() {
-                // Only a LIFO match closes a span; anything else means the
-                // counterpart mark was lost, so the end mark is discarded.
-                if let (false, bm) = &self.spans[bi] {
-                    if bm.path == m.path {
-                        stack.pop();
-                        let dur = m.t_ns.saturating_sub(begin_ns);
-                        if let Some(parent) = stack.last_mut() {
-                            parent.2 += dur;
-                        }
-                        out.push(MatchedSpan {
-                            path: m.path.clone(),
-                            thread: m.thread,
-                            begin_ns,
-                            end_ns: m.t_ns,
-                            self_ns: dur.saturating_sub(child_ns),
-                        });
-                    }
-                }
-            }
-        }
-        out
+        matched_spans_of(&self.spans)
     }
 
     /// Export as Chrome Trace Event Format JSON (loadable in Perfetto /
@@ -402,11 +595,7 @@ impl TraceSnapshot {
         runs.sort_unstable();
         runs.dedup();
         for &(run, seed) in &runs {
-            let pid = 1000 + run;
-            events.push(format!(
-                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
-                 \"args\":{{\"name\":\"sim run {run} (seed {seed})\"}}}}"
-            ));
+            events.push(chrome_run_meta(run, seed));
             let mut ranks: Vec<u32> = self
                 .sim
                 .iter()
@@ -416,104 +605,23 @@ impl TraceSnapshot {
             ranks.sort_unstable();
             ranks.dedup();
             for r in ranks {
-                events.push(format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{r},\
-                     \"args\":{{\"name\":\"rank {r}\"}}}}"
-                ));
+                events.push(chrome_rank_meta(run, r));
             }
         }
         // Simulated events: near-zero-duration slices (so flows can bind
         // to them) plus flow start/finish events for matched messages.
         for e in &self.sim {
-            let pid = 1000 + e.run;
-            let ts = micros(e.t_ns);
-            let name = e.kind.mnemonic();
-            let args = match e.kind {
-                SimEventKind::Send { msg_id } => format!("{{\"msg\":{msg_id}}}"),
-                SimEventKind::Recv { msg_id, wildcard } => {
-                    format!("{{\"msg\":{msg_id},\"wildcard\":{wildcard}}}")
-                }
-                _ => "{}".to_string(),
-            };
-            events.push(format!(
-                "{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":{pid},\
-                 \"tid\":{},\"ts\":{ts},\"dur\":0.001,\"args\":{args}}}",
-                e.rank
-            ));
-            match e.kind {
-                SimEventKind::Send { msg_id } => events.push(format!(
-                    "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{msg_id},\
-                     \"pid\":{pid},\"tid\":{},\"ts\":{ts}}}",
-                    e.rank
-                )),
-                SimEventKind::Recv { msg_id, .. } => events.push(format!(
-                    "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\
-                     \"id\":{msg_id},\"pid\":{pid},\"tid\":{},\"ts\":{ts}}}",
-                    e.rank
-                )),
-                _ => {}
+            events.push(chrome_sim_slice(e));
+            if let Some(flow) = chrome_sim_flow(e) {
+                events.push(flow);
             }
         }
         if include_wall {
-            let matched = self.matched_spans();
-            // Emit marks in ring order but only those belonging to a
-            // matched pair, so B/E stay balanced and well-nested.
-            let mut keep = vec![false; self.spans.len()];
-            {
-                // Re-run the matching to learn which indices survived.
-                let mut stacks: Vec<(u32, Vec<usize>)> = Vec::new();
-                for (i, (is_end, m)) in self.spans.iter().enumerate() {
-                    let stack = match stacks.iter_mut().find(|(t, _)| *t == m.thread) {
-                        Some((_, s)) => s,
-                        None => {
-                            stacks.push((m.thread, Vec::new()));
-                            &mut stacks.last_mut().expect("just pushed").1
-                        }
-                    };
-                    if !*is_end {
-                        stack.push(i);
-                    } else if let Some(&bi) = stack.last() {
-                        if self.spans[bi].1.path == m.path {
-                            stack.pop();
-                            keep[bi] = true;
-                            keep[i] = true;
-                        }
-                    }
-                }
-            }
-            let mut threads: Vec<u32> = matched.iter().map(|s| s.thread).collect();
-            threads.sort_unstable();
-            threads.dedup();
-            if !threads.is_empty() {
-                events.push(
-                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-                     \"args\":{\"name\":\"pipeline (wall clock)\"}}"
-                        .to_string(),
-                );
-            }
-            for t in threads {
-                events.push(format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
-                     \"args\":{{\"name\":\"thread {t}\"}}}}"
-                ));
-            }
-            for (i, (is_end, m)) in self.spans.iter().enumerate() {
-                if !keep[i] {
-                    continue;
-                }
-                let ph = if *is_end { "E" } else { "B" };
-                events.push(format!(
-                    "{{\"name\":\"{}\",\"cat\":\"wall\",\"ph\":\"{ph}\",\"pid\":1,\
-                     \"tid\":{},\"ts\":{}}}",
-                    escape(&m.path),
-                    m.thread,
-                    micros(m.t_ns)
-                ));
-            }
+            events.extend(chrome_wall_events(&self.spans));
         }
-        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut out = String::from(CHROME_HEADER);
         out.push_str(&events.join(",\n"));
-        out.push_str("\n]}\n");
+        out.push_str(CHROME_FOOTER);
         out
     }
 
@@ -522,26 +630,7 @@ impl TraceSnapshot {
     /// `flamegraph.pl`. Self time excludes nested child spans, so the
     /// flamegraph does not double-count.
     pub fn folded_stacks(&self) -> String {
-        let mut totals: Vec<(String, u64)> = Vec::new();
-        for s in self.matched_spans() {
-            let key = s.path.replace('/', ";");
-            match totals.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, v)) => *v += s.self_ns,
-                None => totals.push((key, s.self_ns)),
-            }
-        }
-        totals.sort();
-        let mut out = String::new();
-        for (key, self_ns) in totals {
-            let us = self_ns / 1_000;
-            if us > 0 {
-                out.push_str(&key);
-                out.push(' ');
-                out.push_str(&us.to_string());
-                out.push('\n');
-            }
-        }
-        out
+        folded_from_spans(&self.spans)
     }
 
     /// Merge the spans into per-path totals (used by overhead accounting
@@ -571,6 +660,214 @@ impl TraceSnapshot {
         counts.sort_unstable();
         counts
     }
+}
+
+/// Opening bytes of a Chrome Trace Event Format export. Event objects
+/// follow one per line, comma-separated; [`CHROME_FOOTER`] closes the
+/// document. The streaming sink and [`TraceSnapshot::chrome_trace`]
+/// share these so their outputs are line-for-line comparable.
+pub const CHROME_HEADER: &str = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+/// Closing bytes of a Chrome Trace Event Format export.
+pub const CHROME_FOOTER: &str = "\n]}\n";
+
+/// Chrome-trace metadata naming the process of campaign run `run`
+/// (`pid = 1000 + run`, labelled with the run's seed).
+pub fn chrome_run_meta(run: u32, seed: u64) -> String {
+    let pid = 1000 + run;
+    format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"sim run {run} (seed {seed})\"}}}}"
+    )
+}
+
+/// Chrome-trace metadata naming run `run`'s track for `rank`.
+pub fn chrome_rank_meta(run: u32, rank: u32) -> String {
+    let pid = 1000 + run;
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{rank},\
+         \"args\":{{\"name\":\"rank {rank}\"}}}}"
+    )
+}
+
+/// The near-zero-duration slice of one simulated MPI event (flows bind
+/// to these).
+pub fn chrome_sim_slice(e: &SimEvent) -> String {
+    let pid = 1000 + e.run;
+    let ts = micros(e.t_ns);
+    let name = e.kind.mnemonic();
+    let args = match e.kind {
+        SimEventKind::Send { msg_id } => format!("{{\"msg\":{msg_id}}}"),
+        SimEventKind::Recv { msg_id, wildcard } => {
+            format!("{{\"msg\":{msg_id},\"wildcard\":{wildcard}}}")
+        }
+        _ => "{}".to_string(),
+    };
+    format!(
+        "{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":{pid},\
+         \"tid\":{},\"ts\":{ts},\"dur\":0.001,\"args\":{args}}}",
+        e.rank
+    )
+}
+
+/// The flow event of a matched message (`ph: "s"` at the send, `"f"` at
+/// the receive); `None` for events that carry no message.
+pub fn chrome_sim_flow(e: &SimEvent) -> Option<String> {
+    let pid = 1000 + e.run;
+    let ts = micros(e.t_ns);
+    match e.kind {
+        SimEventKind::Send { msg_id } => Some(format!(
+            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{msg_id},\
+             \"pid\":{pid},\"tid\":{},\"ts\":{ts}}}",
+            e.rank
+        )),
+        SimEventKind::Recv { msg_id, .. } => Some(format!(
+            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\
+             \"id\":{msg_id},\"pid\":{pid},\"tid\":{},\"ts\":{ts}}}",
+            e.rank
+        )),
+        _ => None,
+    }
+}
+
+/// Reconstruct well-nested span instances per thread from raw begin/end
+/// marks in ring order. Begin marks without a matching end (or vice
+/// versa — e.g. the counterpart was overwritten in the ring) are
+/// discarded, so the result is always balanced.
+pub fn matched_spans_of(spans: &[(bool, SpanMark)]) -> Vec<MatchedSpan> {
+    // Per-thread stacks of (index into spans, begin time, child time).
+    type OpenSpan = (usize, u64, u64);
+    let mut stacks: Vec<(u32, Vec<OpenSpan>)> = Vec::new();
+    let mut out = Vec::new();
+    for (i, (is_end, m)) in spans.iter().enumerate() {
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == m.thread) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((m.thread, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        if !*is_end {
+            stack.push((i, m.t_ns, 0));
+        } else if let Some(&(bi, begin_ns, child_ns)) = stack.last() {
+            // Only a LIFO match closes a span; anything else means the
+            // counterpart mark was lost, so the end mark is discarded.
+            if let (false, bm) = &spans[bi] {
+                if bm.path == m.path {
+                    stack.pop();
+                    let dur = m.t_ns.saturating_sub(begin_ns);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += dur;
+                    }
+                    out.push(MatchedSpan {
+                        path: m.path.clone(),
+                        thread: m.thread,
+                        begin_ns,
+                        end_ns: m.t_ns,
+                        self_ns: dur.saturating_sub(child_ns),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Which marks belong to a matched begin/end pair (the same LIFO
+/// matching as [`matched_spans_of`]), so exporters emit balanced B/E.
+fn span_keep_mask(spans: &[(bool, SpanMark)]) -> Vec<bool> {
+    let mut keep = vec![false; spans.len()];
+    let mut stacks: Vec<(u32, Vec<usize>)> = Vec::new();
+    for (i, (is_end, m)) in spans.iter().enumerate() {
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == m.thread) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((m.thread, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        if !*is_end {
+            stack.push(i);
+        } else if let Some(&bi) = stack.last() {
+            if spans[bi].1.path == m.path {
+                stack.pop();
+                keep[bi] = true;
+                keep[i] = true;
+            }
+        }
+    }
+    keep
+}
+
+/// The wall-clock section of a Chrome export: process/thread metadata
+/// for every thread that completed a span, then balanced `B`/`E` marks
+/// in ring order. Shared by the snapshot exporter and the streaming
+/// sink, so both emit byte-identical event lines.
+pub fn chrome_wall_events(spans: &[(bool, SpanMark)]) -> Vec<String> {
+    let mut events = Vec::new();
+    let keep = span_keep_mask(spans);
+    let mut threads: Vec<u32> = spans
+        .iter()
+        .enumerate()
+        .filter(|(i, (is_end, _))| keep[*i] && *is_end)
+        .map(|(_, (_, m))| m.thread)
+        .collect();
+    threads.sort_unstable();
+    threads.dedup();
+    if !threads.is_empty() {
+        events.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"pipeline (wall clock)\"}}"
+                .to_string(),
+        );
+    }
+    for t in threads {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
+             \"args\":{{\"name\":\"thread {t}\"}}}}"
+        ));
+    }
+    for (i, (is_end, m)) in spans.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let ph = if *is_end { "E" } else { "B" };
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"wall\",\"ph\":\"{ph}\",\"pid\":1,\
+             \"tid\":{},\"ts\":{}}}",
+            escape(&m.path),
+            m.thread,
+            micros(m.t_ns)
+        ));
+    }
+    events
+}
+
+/// Fold raw span marks into flamegraph stacks (one line per stack,
+/// `a;b;c <self-time-µs>`, the inferno / `flamegraph.pl` input). Self
+/// time excludes nested child spans, so the flamegraph does not
+/// double-count.
+pub fn folded_from_spans(spans: &[(bool, SpanMark)]) -> String {
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    for s in matched_spans_of(spans) {
+        let key = s.path.replace('/', ";");
+        match totals.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v += s.self_ns,
+            None => totals.push((key, s.self_ns)),
+        }
+    }
+    totals.sort();
+    let mut out = String::new();
+    for (key, self_ns) in totals {
+        let us = self_ns / 1_000;
+        if us > 0 {
+            out.push_str(&key);
+            out.push(' ');
+            out.push_str(&us.to_string());
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Merge of [`MetricsReport`]s — see [`MetricsReport::merge`].
@@ -604,6 +901,14 @@ pub(crate) fn merge_reports(into: &mut MetricsReport, other: &MetricsReport) {
                 } else {
                     x.total_ns as f64 / x.count as f64
                 };
+                // Histograms add bucket-wise; quantiles re-derive from
+                // the merged distribution, not from the inputs' quantiles
+                // (quantiles do not compose, bucket counts do).
+                crate::hist::merge_sparse(&mut x.hist, &s.hist);
+                let (p50, p95, p99) = crate::hist::percentiles_sparse(&x.hist);
+                x.p50_ns = p50;
+                x.p95_ns = p95;
+                x.p99_ns = p99;
             }
             None => into.spans.push(s.clone()),
         }

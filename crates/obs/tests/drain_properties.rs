@@ -1,0 +1,152 @@
+//! Property tests for the tracer ring's chunked-drain consumer.
+//!
+//! Arbitrary interleavings of record batches and drain calls must keep
+//! the conservation invariant `recorded == drained + lost + pending`,
+//! and the concatenation of drained chunks must reproduce the recorded
+//! sequence: exactly when the ring never overflows, and as an
+//! order-preserving subsequence when it does.
+
+use anacin_obs::tracer::{SimEvent, SimEventKind, TraceRecord, Tracer};
+use proptest::prelude::*;
+
+/// A record whose `t_ns` encodes its global sequence number, so drained
+/// output can be checked for order and identity.
+fn seq_record(seq: u64) -> TraceRecord {
+    TraceRecord::Sim(SimEvent {
+        run: 0,
+        seed: 1,
+        rank: (seq % 7) as u32,
+        idx: seq as u32,
+        kind: SimEventKind::Init,
+        t_ns: seq,
+    })
+}
+
+fn seq_of(r: &TraceRecord) -> u64 {
+    match r {
+        TraceRecord::Sim(e) => e.t_ns,
+        _ => panic!("property test only records Sim events"),
+    }
+}
+
+/// One step of the single-threaded interleaving: record a burst, then
+/// drain up to `drain_max` records (0 = skip the drain).
+fn op_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..40, 0usize..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With capacity far above the total volume nothing is ever lost:
+    /// the drained chunks concatenate to exactly the recorded sequence.
+    #[test]
+    fn lossless_ring_drains_every_record_in_order(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let tracer = Tracer::with_capacity(4096);
+        let mut next_seq = 0u64;
+        let mut drained: Vec<u64> = Vec::new();
+        for (burst, drain_max) in ops {
+            for _ in 0..burst {
+                tracer.record(seq_record(next_seq));
+                next_seq += 1;
+            }
+            if drain_max > 0 {
+                drained.extend(tracer.drain(drain_max).iter().map(seq_of));
+            }
+        }
+        loop {
+            let chunk = tracer.drain_remaining(64);
+            if chunk.is_empty() {
+                break;
+            }
+            drained.extend(chunk.iter().map(seq_of));
+        }
+
+        prop_assert_eq!(tracer.dropped(), 0);
+        let stats = tracer.drain_stats();
+        prop_assert_eq!(stats.lost, 0);
+        prop_assert_eq!(stats.pending, 0);
+        prop_assert_eq!(stats.drained, next_seq);
+        prop_assert_eq!(drained, (0..next_seq).collect::<Vec<_>>());
+    }
+
+    /// A tiny ring overflows constantly; drains must still conserve
+    /// every claim (`recorded == drained + lost + pending`) and emit an
+    /// order-preserving subsequence of what was recorded.
+    #[test]
+    fn overflowing_ring_conserves_claims_and_order(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let tracer = Tracer::with_capacity(16);
+        let mut next_seq = 0u64;
+        let mut drained: Vec<u64> = Vec::new();
+        for (burst, drain_max) in ops {
+            for _ in 0..burst {
+                tracer.record(seq_record(next_seq));
+                next_seq += 1;
+            }
+            if drain_max > 0 {
+                drained.extend(tracer.drain(drain_max).iter().map(seq_of));
+            }
+            let stats = tracer.drain_stats();
+            prop_assert_eq!(
+                stats.drained + stats.lost + stats.pending,
+                tracer.recorded(),
+                "mid-run conservation"
+            );
+        }
+        loop {
+            let chunk = tracer.drain_remaining(64);
+            if chunk.is_empty() {
+                break;
+            }
+            drained.extend(chunk.iter().map(seq_of));
+        }
+
+        let stats = tracer.drain_stats();
+        prop_assert_eq!(stats.pending, 0);
+        prop_assert_eq!(stats.drained + stats.lost, next_seq);
+        prop_assert_eq!(stats.drained, drained.len() as u64);
+        // Strictly increasing sequence numbers ⇒ an order-preserving
+        // subsequence of the recorded stream with no duplicates.
+        prop_assert!(drained.windows(2).all(|w| w[0] < w[1]), "{:?}", drained);
+        prop_assert!(drained.iter().all(|&s| s < next_seq));
+    }
+}
+
+/// Concurrent writers against one drainer: conservation must hold even
+/// while records are in flight, and after the writers finish a final
+/// `drain_remaining` accounts for every claim.
+#[test]
+fn concurrent_record_and_drain_conserves_claims() {
+    let tracer = std::sync::Arc::new(Tracer::with_capacity(64));
+    let total_per_writer = 2_000u64;
+    std::thread::scope(|s| {
+        for w in 0..3u64 {
+            let t = std::sync::Arc::clone(&tracer);
+            s.spawn(move || {
+                for i in 0..total_per_writer {
+                    t.record(seq_record(w * total_per_writer + i));
+                }
+            });
+        }
+        let t = std::sync::Arc::clone(&tracer);
+        s.spawn(move || {
+            for _ in 0..200 {
+                t.drain(32);
+                std::thread::yield_now();
+            }
+        });
+    });
+    let mut drained = tracer.drain_stats().drained;
+    loop {
+        let chunk = tracer.drain_remaining(256);
+        if chunk.is_empty() {
+            break;
+        }
+        drained += chunk.len() as u64;
+    }
+    let stats = tracer.drain_stats();
+    assert_eq!(stats.pending, 0);
+    assert_eq!(stats.drained, drained);
+    assert_eq!(stats.drained + stats.lost, tracer.recorded());
+    assert_eq!(tracer.recorded(), 3 * total_per_writer);
+}
