@@ -99,6 +99,24 @@ pub struct StageTimings {
     pub store_speedup: f64,
 }
 
+/// Submit→result latency through the campaign service socket
+/// (`anacin serve`): the same campaign submitted twice to a fresh
+/// daemon, once against an empty store (cold) and once fully warm. The
+/// CLI fills this row via `anacin_serve::bench::measure_serve_latency`;
+/// `run_baseline` itself leaves it `None` so this crate stays free of a
+/// service dependency.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeRow {
+    /// Which pattern was submitted.
+    pub pattern: String,
+    /// First submission: every artifact computed and published.
+    pub serve_cold_ms: f64,
+    /// Second submission of the identical campaign: fully warm.
+    pub serve_warm_ms: f64,
+    /// `serve_cold_ms / serve_warm_ms`.
+    pub serve_speedup: f64,
+}
+
 /// The full baseline: one row per paper pattern.
 #[derive(Debug, Clone, Serialize)]
 pub struct BaselineReport {
@@ -110,6 +128,8 @@ pub struct BaselineReport {
     pub samples: u32,
     /// Per-pattern stage timings.
     pub patterns: Vec<StageTimings>,
+    /// Service-path latency (filled by the CLI, absent in library runs).
+    pub serve: Option<ServeRow>,
 }
 
 impl BaselineReport {
@@ -155,6 +175,12 @@ impl BaselineReport {
                 r.store_cold_ms,
                 r.store_warm_ms,
                 r.store_speedup
+            ));
+        }
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                "serve ({}): cold={:.3} ms, warm={:.3} ms, speedup={:.1}x (submit→result through the socket)\n",
+                s.pattern, s.serve_cold_ms, s.serve_warm_ms, s.serve_speedup
             ));
         }
         out
@@ -304,6 +330,7 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         runs: cfg.runs,
         samples: cfg.samples,
         patterns: rows,
+        serve: None,
     }
 }
 

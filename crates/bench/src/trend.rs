@@ -36,6 +36,9 @@ const LARGE_METRICS: &[&str] = &[
     "peak_rss_mib",
 ];
 
+/// Service-path metrics tracked from a baseline report's `serve` row.
+const SERVE_METRICS: &[&str] = &["serve_cold_ms", "serve_warm_ms"];
+
 /// Regressions smaller than this many units (milliseconds / MiB) never
 /// flag, whatever the relative change: sub-millisecond stages jitter by
 /// integer factors without meaning anything.
@@ -146,6 +149,21 @@ fn extract(content: &str) -> Result<(String, Vec<MetricRow>), String> {
         for metric in metrics {
             if let Some(value) = map_get(row, metric).as_f64() {
                 rows.push((name.clone(), metric.to_string(), value));
+            }
+        }
+    }
+    // Baseline reports that went through the CLI also carry a `serve`
+    // row: submit→result latency through the service socket. Older
+    // reports simply lack the key, so the series starts when the row
+    // first appears.
+    if let Some(s) = map_get(obj, "serve").as_object() {
+        let name = map_get(s, "pattern")
+            .as_str()
+            .unwrap_or("serve")
+            .to_string();
+        for metric in SERVE_METRICS {
+            if let Some(value) = map_get(s, metric).as_f64() {
+                rows.push((format!("serve/{name}"), metric.to_string(), value));
             }
         }
     }

@@ -62,6 +62,26 @@ COMMANDS
                                 aggregate (JSON {aggregate, points})
               [--trace FILE[.json|.folded]] [--trace-capacity N]
               [--store DIR]  run every sweep point incrementally (see run)
+  serve       campaign service daemon: accept jobs from many clients over
+              a socket, run them on one worker pool against one shared
+              warm store (client B warm-hits client A's runs)
+              [--socket PATH]  Unix socket to listen on (default anacin.sock)
+              [--listen ADDR]  listen on TCP host:port instead
+              [--store DIR]    shared artifact store (default anacin-serve-store)
+              [--workers N]    worker pool size (default: cores, max 4)
+              [--queue-capacity N]  admission queue bound (default 64)
+              [--job-timeout MS]    cancel jobs running longer than MS
+              [--metrics FILE]      write serve counters (JSON) on shutdown
+              SIGINT/SIGTERM drain: admitted jobs finish, new ones refused
+  client      submit one job to a running daemon and print its result
+              (stdout is byte-identical to the local command)
+              --socket PATH | --connect ADDR   where the daemon listens
+              [--job campaign|sweep|explore]   job kind (default campaign)
+              plus the matching run/sweep options (--pattern --procs --nd
+              --runs --kind --schedule-budget --brute-force …)
+              [--peer NAME]    client name in server logs
+              [--stats FILE]   write store hit/miss/put counts (JSON)
+              progress frames stream to stderr while the job runs
   store       artifact-store maintenance
               anacin store stats  --store DIR   size/count per artifact kind
               anacin store verify --store DIR   checksum every artifact
@@ -129,6 +149,8 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         }
         Some("run") | Some("campaign") => cmd_run(args),
         Some("explore") => cmd_explore(args),
+        Some("serve") => cmd_serve(args),
+        Some("client") => cmd_client(args),
         Some("store") => cmd_store(args),
         Some("bench") => cmd_bench(args),
         Some("graph") => cmd_graph(args),
@@ -263,19 +285,26 @@ fn explore_config_of(args: &Args) -> Result<ExploreConfig, String> {
     Ok(xcfg)
 }
 
-/// The explore half of a `run --explore --json` payload.
-#[derive(Serialize)]
-struct ExploreSection {
-    config: ExploreConfig,
-    stats: ExploreStats,
-    coverage: ExploreCoverage,
+/// Unpack a cancellable pipeline's outcome: completed results pass
+/// through, a genuine failure becomes the command error, and a SIGINT
+/// cancellation becomes `Ok(None)` so the caller can flush whatever
+/// sinks are open before exiting non-zero.
+fn until_cancelled<T, E: std::fmt::Display>(
+    r: Result<T, Interrupted<E>>,
+) -> Result<Option<T>, String> {
+    match r {
+        Ok(v) => Ok(Some(v)),
+        Err(Interrupted::Cancelled { completed_runs }) => {
+            eprintln!("interrupted: stopping after {completed_runs} completed run(s)");
+            Ok(None)
+        }
+        Err(Interrupted::Failed(e)) => Err(e.to_string()),
+    }
 }
 
-/// `run --explore --json`: the sampled measurement plus the enumeration.
-#[derive(Serialize)]
-struct RunWithExploreReport {
-    measurement: MeasurementReport,
-    explore: ExploreSection,
+/// The error a cancelled command exits with (non-zero, code 2).
+fn interrupted_err() -> String {
+    "interrupted by signal; partial output flushed".to_string()
 }
 
 /// `run --stream`: the bounded-memory campaign path. Each run's trace and
@@ -322,22 +351,26 @@ fn cmd_run_streaming(args: &Args) -> Result<(), String> {
             std::time::Duration::from_millis(250),
         )
     });
-    let result =
-        run_campaign_streaming_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0);
+    let token = anacin_obs::install_signal_handlers();
+    let result = run_campaign_streaming_cancellable(
+        &cfg,
+        reg.as_ref(),
+        tracer.as_ref().map(|(_, t)| t),
+        0,
+        Some(&token),
+    );
     if let Some(r) = reporter {
         r.finish();
     }
-    let result = result.map_err(|e| e.to_string())?;
+    let result = until_cancelled(result)?;
     if let Some((path, reg)) = &metrics {
         write_metrics(path, reg)?;
     }
     if let Some((path, t)) = &tracer {
         finish_file_sink(path, t)?;
     }
-    let m = NdMeasurement::from_matrix(
-        format!("{} @ {}%", cfg.pattern, cfg.nd_percent),
-        &result.matrix,
-    );
+    let result = result.ok_or_else(interrupted_err)?;
+    let m = NdMeasurement::from_matrix(campaign_label(&cfg), &result.matrix);
     if args.flag("json") {
         let rep = MeasurementReport::from(&m);
         let json = anacin_core::report::to_json(&rep).map_err(|e| e.to_string())?;
@@ -402,22 +435,50 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             std::time::Duration::from_millis(250),
         )
     });
+    let token = anacin_obs::install_signal_handlers();
     let result = match &store {
-        Some((_, store)) => run_campaign_incremental_observed(
+        Some((_, store)) => until_cancelled(run_campaign_incremental_cancellable(
             &cfg,
             store,
             reg.as_ref(),
             tracer.as_ref().map(|(_, t)| t),
             0,
-        )
-        .map_err(|e| e.to_string()),
-        None => run_campaign_observed(&cfg, reg.as_ref(), tracer.as_ref().map(|(_, t)| t), 0)
-            .map_err(|e| e.to_string()),
+            Some(&token),
+        )),
+        None => until_cancelled(run_campaign_cancellable(
+            &cfg,
+            reg.as_ref(),
+            tracer.as_ref().map(|(_, t)| t),
+            0,
+            Some(&token),
+        )),
     };
     if let Some(r) = reporter {
         r.finish();
     }
     let result = result?;
+    // SIGINT: flush every open sink (metrics file, trace file, store
+    // activity line) before exiting non-zero, so an interrupted campaign
+    // still leaves its partial observability artifacts behind.
+    let result = match result {
+        Some(r) => r,
+        None => {
+            if let Some((dir, store)) = &store {
+                let a = store.activity();
+                eprintln!(
+                    "store {dir}: {} hit(s), {} miss(es), {} publish(es)",
+                    a.hits, a.misses, a.puts
+                );
+            }
+            if let Some((path, reg)) = &metrics {
+                write_metrics(path, reg)?;
+            }
+            if let Some((path, t)) = &tracer {
+                write_trace(path, t)?;
+            }
+            return Err(interrupted_err());
+        }
+    };
     // `--explore`: enumerate the schedule space of the same setting and
     // relate the sample to it (worst case, coverage, containment).
     let explored = if args.flag("explore") {
@@ -449,21 +510,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let Some((path, t)) = &tracer {
         write_trace(path, t)?;
     }
-    let m = NdMeasurement::from_campaign(format!("{} @ {}%", cfg.pattern, cfg.nd_percent), &result);
+    let m = NdMeasurement::from_campaign(campaign_label(&cfg), &result);
     if args.flag("json") {
-        let rep = MeasurementReport::from(&m);
+        // Both arms go through `anacin_core::report` so the daemon can
+        // reproduce this payload byte-for-byte (the serve crate's
+        // acceptance oracle).
         let json = match &explored {
             Some((xcfg, xr, coverage)) => anacin_core::report::to_json(&RunWithExploreReport {
-                measurement: rep,
+                measurement: MeasurementReport::from(&m),
                 explore: ExploreSection {
                     config: *xcfg,
                     stats: xr.report.stats,
                     coverage: *coverage,
                 },
-            }),
-            None => anacin_core::report::to_json(&rep),
-        }
-        .map_err(|e| e.to_string())?;
+            })
+            .map_err(|e| e.to_string())?,
+            None => measurement_json(&cfg, &result.matrix).map_err(|e| e.to_string())?,
+        };
         println!("{json}");
         return Ok(());
     }
@@ -657,6 +720,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let tracer = tracer_of(args)?;
     let tr = tracer.as_ref().map(|(_, t)| t);
     let kind = args.get_or("kind", "nd");
+    let token = anacin_obs::install_signal_handlers();
     if let Some(dir) = args.get("store") {
         // Store-backed sweeps use one registry for the whole sweep (the
         // per-point instrumented path is not combined with --store).
@@ -668,19 +732,27 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         if let Some(r) = &reg {
             store.attach_metrics(r);
         }
-        let sweep = match kind.as_str() {
+        let cancel = Some(&token);
+        let sweep = until_cancelled(match kind.as_str() {
             "nd" => {
                 let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
-                sweep_nd_percent_stored(&base, &percents, &store, reg.as_ref())
+                sweep_nd_percent_stored_cancellable(&base, &percents, &store, reg.as_ref(), cancel)
             }
             "procs" => {
                 let p = base.app.procs;
-                sweep_procs_stored(&base, &[(p / 2).max(2), p, p * 2], &store, reg.as_ref())
+                sweep_procs_stored_cancellable(
+                    &base,
+                    &[(p / 2).max(2), p, p * 2],
+                    &store,
+                    reg.as_ref(),
+                    cancel,
+                )
             }
-            "iterations" => sweep_iterations_stored(&base, &[1, 2, 4], &store, reg.as_ref()),
+            "iterations" => {
+                sweep_iterations_stored_cancellable(&base, &[1, 2, 4], &store, reg.as_ref(), cancel)
+            }
             other => return Err(format!("unknown sweep kind '{other}'")),
-        }
-        .map_err(|e| e.to_string())?;
+        })?;
         if let (Some(path), Some(r)) = (&metrics_path, &reg) {
             write_metrics(path, r)?;
         }
@@ -689,27 +761,39 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             "store {dir}: {} hit(s), {} miss(es), {} publish(es)",
             a.hits, a.misses, a.puts
         );
-        print!("{}", sweep_table(&sweep));
-        println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
+        // A cancelled stored sweep has already published every finished
+        // run, so the next invocation resumes warm; report and exit 2.
+        let sweep = sweep.ok_or_else(interrupted_err)?;
+        print!("{}", sweep_text(&sweep));
         return Ok(());
     }
+    let cancel = Some(&token);
     let instrumented = metrics_path.is_some() || tracer.is_some();
     let sweep = if instrumented {
         // Instrumented path: per-point registries so stage time can be
         // plotted against the swept parameter, plus optional tracing.
-        let (sweep, sm) = match kind.as_str() {
+        let both = until_cancelled(match kind.as_str() {
             "nd" => {
                 let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
-                sweep_nd_percent_instrumented(&base, &percents, tr)
+                sweep_nd_percent_instrumented_cancellable(&base, &percents, tr, cancel)
             }
             "procs" => {
                 let p = base.app.procs;
-                sweep_procs_instrumented(&base, &[(p / 2).max(2), p, p * 2], tr)
+                sweep_procs_instrumented_cancellable(&base, &[(p / 2).max(2), p, p * 2], tr, cancel)
             }
-            "iterations" => sweep_iterations_instrumented(&base, &[1, 2, 4], tr),
+            "iterations" => {
+                sweep_iterations_instrumented_cancellable(&base, &[1, 2, 4], tr, cancel)
+            }
             other => return Err(format!("unknown sweep kind '{other}'")),
-        }
-        .map_err(|e| e.to_string())?;
+        })?;
+        let Some((sweep, sm)) = both else {
+            // Flush the trace sink before exiting non-zero: the partial
+            // per-run timeline is exactly what a user hunting a hang wants.
+            if let Some((path, t)) = &tracer {
+                write_trace(path, t)?;
+            }
+            return Err(interrupted_err());
+        };
         if let Some(path) = &metrics_path {
             let json = serde_json::to_string_pretty(&sm).map_err(|e| e.to_string())?;
             std::fs::write(path, json).map_err(|e| e.to_string())?;
@@ -721,26 +805,172 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         }
         sweep
     } else {
-        match kind.as_str() {
+        until_cancelled(match kind.as_str() {
             "nd" => {
                 let percents: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
-                sweep_nd_percent(&base, &percents)
+                sweep_nd_percent_cancellable(&base, &percents, None, cancel)
             }
             "procs" => {
                 let p = base.app.procs;
-                sweep_procs(&base, &[(p / 2).max(2), p, p * 2])
+                sweep_procs_cancellable(&base, &[(p / 2).max(2), p, p * 2], None, cancel)
             }
-            "iterations" => sweep_iterations(&base, &[1, 2, 4]),
+            "iterations" => sweep_iterations_cancellable(&base, &[1, 2, 4], None, cancel),
             other => return Err(format!("unknown sweep kind '{other}'")),
-        }
-        .map_err(|e| e.to_string())?
+        })?
+        .ok_or_else(interrupted_err)?
     };
     if let Some((path, t)) = &tracer {
         write_trace(path, t)?;
     }
-    print!("{}", sweep_table(&sweep));
-    println!("Spearman rho = {:.3}", sweep.spearman_monotonicity());
+    print!("{}", sweep_text(&sweep));
     Ok(())
+}
+
+/// `anacin serve`: run the campaign service daemon until SIGINT/SIGTERM,
+/// then drain — admitted jobs finish and deliver their results, new
+/// submissions are refused — and print the serve counters.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use anacin_serve::{Server, ServerConfig};
+    let store_dir = args.get_or("store", "anacin-serve-store");
+    let mut cfg = ServerConfig::new(&store_dir)
+        .queue_capacity(args.get_parsed("queue-capacity", 64usize)?)
+        .progress_interval(std::time::Duration::from_millis(
+            args.get_parsed("progress-interval", 250u64)?,
+        ));
+    if let Some(w) = args.get("workers") {
+        let n: usize = w
+            .parse()
+            .map_err(|_| format!("invalid value '{w}' for --workers"))?;
+        cfg = cfg.workers(n);
+    }
+    if let Some(t) = args.get("job-timeout") {
+        let ms: u64 = t
+            .parse()
+            .map_err(|_| format!("invalid value '{t}' for --job-timeout"))?;
+        cfg = cfg.job_timeout(std::time::Duration::from_millis(ms));
+    }
+    let handle = match args.get("listen") {
+        Some(addr) => {
+            let server = Server::bind_tcp(addr, cfg).map_err(|e| e.to_string())?;
+            let bound = server
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| addr.to_string());
+            eprintln!("anacin serve: listening on tcp {bound} (store {store_dir})");
+            server.spawn()
+        }
+        None => {
+            let socket = args.get_or("socket", "anacin.sock");
+            let server = Server::bind_unix(&socket, cfg).map_err(|e| e.to_string())?;
+            eprintln!("anacin serve: listening on {socket} (store {store_dir})");
+            server.spawn()
+        }
+    };
+    let _token = anacin_obs::install_signal_handlers();
+    while !anacin_obs::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("anacin serve: draining — finishing admitted jobs, refusing new ones");
+    let report = handle.join();
+    eprint!("{}", report.render_table());
+    if let Some(path) = args.get("metrics") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        eprintln!("serve metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// `--stats FILE` payload for `anacin client`: how the shared store
+/// treated this job (CI asserts cross-client warm hits from it).
+#[derive(Serialize)]
+struct ClientStats {
+    elapsed_ms: u64,
+    store_hits: u64,
+    store_misses: u64,
+    store_puts: u64,
+}
+
+/// `anacin client`: submit one job to a running daemon, stream its
+/// progress to stderr, and print the result payload to stdout —
+/// byte-identical to running the equivalent command locally.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    use anacin_serve::client::Outcome;
+    use anacin_serve::{Client, Frame, JobSpec};
+    let config = campaign_of(args)?;
+    let job = match args.get_or("job", "campaign").as_str() {
+        "campaign" if args.flag("explore") => JobSpec::Explore {
+            config,
+            budget: args.get_parsed("schedule-budget", 4096usize)?,
+            brute_force: args.flag("brute-force"),
+        },
+        "campaign" => JobSpec::Campaign { config },
+        "sweep" => JobSpec::Sweep {
+            kind: args.get_or("kind", "nd"),
+            config,
+        },
+        "explore" => JobSpec::Explore {
+            config,
+            budget: args.get_parsed("schedule-budget", 4096usize)?,
+            brute_force: args.flag("brute-force"),
+        },
+        other => return Err(format!("unknown job kind '{other}'")),
+    };
+    let peer = args.get_or("peer", "anacin-client");
+    let mut client = match args.get("connect") {
+        Some(addr) => Client::connect_tcp(addr, &peer).map_err(|e| e.to_string())?,
+        None => {
+            let socket = args.get_or("socket", "anacin.sock");
+            Client::connect_unix(&socket, &peer).map_err(|e| e.to_string())?
+        }
+    };
+    let outcome = client
+        .run(1, job, |frame| {
+            if let Frame::Progress {
+                done_runs,
+                total_runs,
+                events,
+                event_rate,
+                hottest,
+                eta_ms,
+                ..
+            } = frame
+            {
+                let eta = match eta_ms {
+                    Some(ms) => format!(", eta {ms} ms"),
+                    None => String::new(),
+                };
+                eprintln!(
+                    "progress: {done_runs}/{total_runs} run(s), {events} event(s) \
+                     ({event_rate:.0}/s), hottest {hottest}{eta}"
+                );
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    match outcome {
+        Outcome::Done(r) => {
+            eprintln!(
+                "job done in {} ms: store {} hit(s), {} miss(es), {} publish(es)",
+                r.elapsed_ms, r.store_hits, r.store_misses, r.store_puts
+            );
+            if let Some(path) = args.get("stats") {
+                let stats = ClientStats {
+                    elapsed_ms: r.elapsed_ms,
+                    store_hits: r.store_hits,
+                    store_misses: r.store_misses,
+                    store_puts: r.store_puts,
+                };
+                let json = serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?;
+                std::fs::write(path, json).map_err(|e| e.to_string())?;
+            }
+            print!("{}", r.payload);
+            Ok(())
+        }
+        Outcome::Rejected { retry_after_ms } => Err(format!(
+            "server refused the job (queue full or draining); retry in {retry_after_ms} ms"
+        )),
+        Outcome::Failed { message } => Err(format!("job failed: {message}")),
+    }
 }
 
 fn cmd_store(args: &Args) -> Result<(), String> {
@@ -829,7 +1059,26 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                 samples: args.get_parsed("samples", 3u32)?,
                 base_seed: args.get_parsed("seed", 1u64)?,
             };
-            let report = anacin_bench::run_baseline(&cfg);
+            let mut report = anacin_bench::run_baseline(&cfg);
+            // Service-path row: the same campaign submitted twice over a
+            // scratch daemon's socket — cold, then warm — so bench trend
+            // watches serve latency alongside the per-stage timings.
+            let pattern = Pattern::Amg2013;
+            match anacin_serve::bench::measure_serve_latency(pattern, cfg.procs, cfg.runs) {
+                Ok(l) => {
+                    report.serve = Some(anacin_bench::ServeRow {
+                        pattern: pattern.to_string(),
+                        serve_cold_ms: l.cold_ms,
+                        serve_warm_ms: l.warm_ms,
+                        serve_speedup: if l.warm_ms > 0.0 {
+                            l.cold_ms / l.warm_ms
+                        } else {
+                            0.0
+                        },
+                    });
+                }
+                Err(e) => eprintln!("serve latency row skipped: {e}"),
+            }
             print!("{}", report.render_table());
             let path = args.get_or("out", "BENCH_baseline.json");
             let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;

@@ -17,7 +17,7 @@ use anacin_mpisim::program::Program;
 use anacin_mpisim::stack::CallStackTable;
 use anacin_mpisim::trace::Trace;
 use anacin_mpisim::SimCounters;
-use anacin_obs::{MetricsRegistry, Tracer};
+use anacin_obs::{CancelToken, MetricsRegistry, Tracer};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -47,6 +47,74 @@ impl fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.source)
+    }
+}
+
+/// Why a cancellable pipeline stopped early: either the work itself
+/// failed, or a [`CancelToken`] fired and the pipeline wound down
+/// cooperatively — the run each worker was simulating completes
+/// ("finish the current run"), nothing new starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Interrupted<E> {
+    /// The underlying pipeline failed on its own.
+    Failed(E),
+    /// The cancel token fired before the campaign finished.
+    Cancelled {
+        /// Runs that had fully completed when the pipeline stopped.
+        completed_runs: u32,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for Interrupted<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupted::Failed(e) => e.fmt(f),
+            Interrupted::Cancelled { completed_runs } => {
+                write!(f, "cancelled after {completed_runs} completed run(s)")
+            }
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for Interrupted<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Interrupted::Failed(e) => Some(e),
+            Interrupted::Cancelled { .. } => None,
+        }
+    }
+}
+
+impl<E> From<E> for Interrupted<E> {
+    fn from(e: E) -> Self {
+        Interrupted::Failed(e)
+    }
+}
+
+impl<E> Interrupted<E> {
+    /// Unwrap the `Failed` case. Only for callers that supplied no
+    /// cancel token — the `Cancelled` arm is unreachable then, and this
+    /// panics if it is hit anyway.
+    pub fn into_failure(self) -> E {
+        match self {
+            Interrupted::Failed(e) => e,
+            Interrupted::Cancelled { .. } => {
+                unreachable!("cancelled without a cancel token")
+            }
+        }
+    }
+}
+
+/// `Err(Cancelled)` once `cancel` has fired — the between-stage
+/// checkpoint every cancellable pipeline polls.
+pub(crate) fn check_cancel<E>(
+    cancel: Option<&CancelToken>,
+    completed_runs: u32,
+) -> Result<(), Interrupted<E>> {
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        Err(Interrupted::Cancelled { completed_runs })
+    } else {
+        Ok(())
     }
 }
 
@@ -111,6 +179,22 @@ pub fn run_traces_observed(
     tracer: Option<&Tracer>,
     run_base: u32,
 ) -> Result<Vec<Trace>, CampaignError> {
+    run_traces_cancellable(program, config, metrics, tracer, run_base, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`run_traces_observed`] with cooperative cancellation: once `cancel`
+/// fires, workers stop claiming new runs (the run each one is simulating
+/// completes — a half-simulated trace is never observable), and the call
+/// returns [`Interrupted::Cancelled`] with the number of finished runs.
+pub fn run_traces_cancellable(
+    program: &Program,
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<Trace>, Interrupted<CampaignError>> {
     let runs = config.runs as usize;
     let threads = config.threads.max(1).min(runs.max(1));
     let next = AtomicUsize::new(0);
@@ -127,6 +211,9 @@ pub fn run_traces_observed(
                     let counters = metrics.map(SimCounters::new);
                     let mut local = Vec::new();
                     loop {
+                        if cancel.is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= runs {
                             break;
@@ -169,12 +256,17 @@ pub fn run_traces_observed(
         }
     }
     if let Some(f) = failure {
-        return Err(f);
+        return Err(Interrupted::Failed(f));
     }
-    Ok(out
-        .into_iter()
-        .map(|t| t.expect("all slots filled"))
-        .collect())
+    // Runs are claimed in index order and every claimed run completes,
+    // so a cancelled campaign's finished slots are exactly [0, k).
+    let done: Vec<Trace> = out.into_iter().flatten().collect();
+    if done.len() < runs {
+        return Err(Interrupted::Cancelled {
+            completed_runs: done.len() as u32,
+        });
+    }
+    Ok(done)
 }
 
 /// Run a full campaign: simulate, graph, and measure.
@@ -206,12 +298,29 @@ pub fn run_campaign_observed(
     tracer: Option<&Tracer>,
     run_base: u32,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_cancellable(config, metrics, tracer, run_base, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`run_campaign_observed`] with cooperative cancellation: the simulate
+/// stage stops claiming runs once `cancel` fires (see
+/// [`run_traces_cancellable`]), and the graph/kernel stages check the
+/// token at their boundaries. A result is either complete or not
+/// produced at all — cancellation never yields a partial matrix.
+pub fn run_campaign_cancellable(
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<CampaignResult, Interrupted<CampaignError>> {
     let _campaign_span = metrics.map(|m| m.span("campaign"));
     let program = config.pattern.build(&config.app);
     let traces = {
         let _s = metrics.map(|m| m.span("simulate"));
-        run_traces_observed(&program, config, metrics, tracer, run_base)?
+        run_traces_cancellable(&program, config, metrics, tracer, run_base, cancel)?
     };
+    check_cancel(cancel, config.runs)?;
     let graphs: Vec<EventGraph> = {
         let _s = metrics.map(|m| m.span("graph"));
         traces
@@ -219,6 +328,7 @@ pub fn run_campaign_observed(
             .map(|t| EventGraph::from_trace_with_metrics(t, metrics))
             .collect()
     };
+    check_cancel(cancel, config.runs)?;
     let kernel = config.kernel.instantiate();
     let matrix = {
         let _s = metrics.map(|m| m.span("kernel"));
@@ -308,6 +418,21 @@ pub fn run_campaign_streaming_observed(
     tracer: Option<&Tracer>,
     run_base: u32,
 ) -> Result<StreamingCampaignResult, CampaignError> {
+    run_campaign_streaming_cancellable(config, metrics, tracer, run_base, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`run_campaign_streaming_observed`] with cooperative cancellation,
+/// mirroring [`run_campaign_cancellable`]: workers stop claiming runs
+/// once `cancel` fires, the in-flight run of each worker completes, and
+/// the Gram stage checks the token before starting.
+pub fn run_campaign_streaming_cancellable(
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<StreamingCampaignResult, Interrupted<CampaignError>> {
     let _campaign_span = metrics.map(|m| m.span("campaign"));
     let program = config.pattern.build(&config.app);
     let kernel = config.kernel.instantiate();
@@ -327,6 +452,9 @@ pub fn run_campaign_streaming_observed(
                         let counters = metrics.map(SimCounters::new);
                         let mut local = Vec::new();
                         loop {
+                            if cancel.is_some_and(|c| c.is_cancelled()) {
+                                break;
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= runs {
                                 break;
@@ -387,12 +515,15 @@ pub fn run_campaign_streaming_observed(
         }
     }
     if let Some(f) = failure {
-        return Err(f);
+        return Err(Interrupted::Failed(f));
     }
-    let feats: Vec<SparseFeatures> = feats
-        .into_iter()
-        .map(|f| f.expect("all slots filled"))
-        .collect();
+    let feats: Vec<SparseFeatures> = feats.into_iter().flatten().collect();
+    if feats.len() < runs {
+        return Err(Interrupted::Cancelled {
+            completed_runs: feats.len() as u32,
+        });
+    }
+    check_cancel(cancel, config.runs)?;
     let matrix = {
         let _s = metrics.map(|m| m.span("kernel"));
         gram_from_features_with_metrics(&kernel.name(), &feats, config.threads, metrics)
@@ -443,6 +574,29 @@ mod tests {
         let cfg = CampaignConfig::new(Pattern::MessageRace, 8).runs(10);
         let r = run_campaign(&cfg).unwrap();
         assert!(r.mean_distance() > 0.0);
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_completes_no_runs() {
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6).runs(64);
+        let token = CancelToken::new();
+        token.cancel();
+        match run_campaign_cancellable(&cfg, None, None, 0, Some(&token)) {
+            Err(Interrupted::Cancelled { completed_runs }) => {
+                assert_eq!(
+                    completed_runs, 0,
+                    "workers must not claim past a fired token"
+                )
+            }
+            Err(Interrupted::Failed(e)) => panic!("unexpected failure: {e}"),
+            Ok(_) => panic!("a pre-cancelled campaign must not produce a result"),
+        }
+        // The same config with an unfired token runs to completion and
+        // matches the plain path bit-for-bit.
+        let live = run_campaign_cancellable(&cfg, None, None, 0, Some(&CancelToken::new()))
+            .expect("unfired token must not interrupt");
+        let plain = run_campaign(&cfg).unwrap();
+        assert_eq!(live.distance_sample(), plain.distance_sample());
     }
 
     #[test]

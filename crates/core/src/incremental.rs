@@ -31,7 +31,7 @@
 //! or under a different schedule. Changing pipeline semantics requires
 //! bumping [`KEY_SCHEMA`], which cleanly invalidates every old key.
 
-use crate::campaign::{CampaignError, CampaignResult};
+use crate::campaign::{check_cancel, CampaignError, CampaignResult, Interrupted};
 use crate::config::{CampaignConfig, GramSchedule};
 use anacin_event_graph::EventGraph;
 use anacin_kernels::feature::SparseFeatures;
@@ -41,7 +41,7 @@ use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::trace::Trace;
 use anacin_mpisim::SimCounters;
-use anacin_obs::{MetricsRegistry, Tracer};
+use anacin_obs::{CancelToken, MetricsRegistry, Tracer};
 use anacin_store::{
     Artifact, ArtifactStore, DistanceSample, Fingerprint, FingerprintHasher, StoreError,
 };
@@ -90,6 +90,18 @@ impl From<CampaignError> for IncrementalError {
 impl From<StoreError> for IncrementalError {
     fn from(e: StoreError) -> Self {
         IncrementalError::Store(e)
+    }
+}
+
+impl From<StoreError> for Interrupted<IncrementalError> {
+    fn from(e: StoreError) -> Self {
+        Interrupted::Failed(IncrementalError::Store(e))
+    }
+}
+
+impl From<CampaignError> for Interrupted<IncrementalError> {
+    fn from(e: CampaignError) -> Self {
+        Interrupted::Failed(IncrementalError::Campaign(e))
     }
 }
 
@@ -170,12 +182,15 @@ pub(crate) fn get_or_heal<A: Artifact>(
 
 /// Simulate exactly the given runs (identified by run index) in parallel,
 /// with per-worker batched counters. Failure reports the lowest failing
-/// run index, matching [`crate::campaign::run_traces_observed`].
+/// run index, matching [`crate::campaign::run_traces_observed`]. Once
+/// `cancel` fires, workers stop claiming runs; the caller detects
+/// cancellation by the result being shorter than `missing`.
 fn simulate_runs(
     program: &Program,
     config: &CampaignConfig,
     missing: &[u32],
     metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<(u32, Trace)>, CampaignError> {
     if missing.is_empty() {
         // Fully warm: spawn no workers (and create no `sim/*` counters —
@@ -192,6 +207,9 @@ fn simulate_runs(
                     let counters = metrics.map(SimCounters::new);
                     let mut local = Vec::new();
                     loop {
+                        if cancel.is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         if slot >= missing.len() {
                             break;
@@ -269,6 +287,23 @@ pub fn run_campaign_incremental_observed(
     tracer: Option<&Tracer>,
     run_base: u32,
 ) -> Result<CampaignResult, IncrementalError> {
+    run_campaign_incremental_cancellable(config, store, metrics, tracer, run_base, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`run_campaign_incremental_observed`] with cooperative cancellation.
+/// Every run that finished simulating before `cancel` fired is still
+/// published to the store, so a cancelled campaign resumes warm: the
+/// daemon's per-job cancellation (client disconnect, timeout, `Cancel`
+/// frame) never throws away completed work.
+pub fn run_campaign_incremental_cancellable(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<CampaignResult, Interrupted<IncrementalError>> {
     let _campaign_span = metrics.map(|m| m.span("campaign"));
     let program = config.pattern.build(&config.app);
     let runs = config.runs;
@@ -284,15 +319,24 @@ pub fn run_campaign_incremental_observed(
                 None => missing.push(run),
             }
         }
-        for (run, t) in simulate_runs(&program, config, &missing, metrics)? {
+        let simulated = simulate_runs(&program, config, &missing, metrics, cancel)?;
+        let cancelled = simulated.len() < missing.len();
+        for (run, t) in simulated {
             store.put(run_fingerprint(config, run), &t)?;
             slots[run as usize] = Some(t);
+        }
+        if cancelled {
+            let completed = slots.iter().filter(|s| s.is_some()).count() as u32;
+            return Err(Interrupted::Cancelled {
+                completed_runs: completed,
+            });
         }
         slots
             .into_iter()
             .map(|t| t.expect("all slots filled"))
             .collect()
     };
+    check_cancel(cancel, runs)?;
     if let Some(t) = tracer {
         for (i, trace) in traces.iter().enumerate() {
             trace.record_into(t, run_base + i as u32);
@@ -317,6 +361,7 @@ pub fn run_campaign_incremental_observed(
         }
         out
     };
+    check_cancel(cancel, runs)?;
 
     // Stage 3: per-run feature vectors, then the Gram matrix from them.
     let kernel = config.kernel.instantiate();

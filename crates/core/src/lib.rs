@@ -42,9 +42,10 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::ablation::{ablate, default_kernels, AblationReport, AblationRow};
     pub use crate::campaign::{
-        run_campaign, run_campaign_observed, run_campaign_streaming,
-        run_campaign_streaming_observed, run_campaign_with_metrics, run_traces,
-        run_traces_observed, run_traces_with_metrics, CampaignError, CampaignResult,
+        run_campaign, run_campaign_cancellable, run_campaign_observed, run_campaign_streaming,
+        run_campaign_streaming_cancellable, run_campaign_streaming_observed,
+        run_campaign_with_metrics, run_traces, run_traces_cancellable, run_traces_observed,
+        run_traces_with_metrics, CampaignError, CampaignResult, Interrupted,
         StreamingCampaignResult,
     };
     pub use crate::config::{default_threads, CampaignConfig, GramSchedule, KernelChoice};
@@ -54,17 +55,24 @@ pub mod prelude {
     };
     pub use crate::incremental::{
         campaign_fingerprint, features_fingerprint, run_campaign_incremental,
-        run_campaign_incremental_observed, run_campaign_incremental_with_metrics, run_fingerprint,
-        IncrementalError, KEY_SCHEMA,
+        run_campaign_incremental_cancellable, run_campaign_incremental_observed,
+        run_campaign_incremental_with_metrics, run_fingerprint, IncrementalError, KEY_SCHEMA,
     };
     pub use crate::measure::NdMeasurement;
-    pub use crate::report::{ranking_table, sweep_table, MeasurementReport};
+    pub use crate::report::{
+        campaign_label, measurement_json, ranking_table, sweep_table, sweep_text, ExploreSection,
+        MeasurementReport, RunWithExploreReport,
+    };
     pub use crate::root_cause::{analyze, CallstackRanking, RootCauseConfig};
     pub use crate::sweep::{
-        sweep_iterations, sweep_iterations_instrumented, sweep_iterations_stored,
-        sweep_iterations_with_metrics, sweep_nd_percent, sweep_nd_percent_instrumented,
-        sweep_nd_percent_stored, sweep_nd_percent_with_metrics, sweep_procs,
-        sweep_procs_instrumented, sweep_procs_stored, sweep_procs_with_metrics, Sweep,
+        sweep_iterations, sweep_iterations_cancellable, sweep_iterations_instrumented,
+        sweep_iterations_instrumented_cancellable, sweep_iterations_stored,
+        sweep_iterations_stored_cancellable, sweep_iterations_with_metrics, sweep_nd_percent,
+        sweep_nd_percent_cancellable, sweep_nd_percent_instrumented,
+        sweep_nd_percent_instrumented_cancellable, sweep_nd_percent_stored,
+        sweep_nd_percent_stored_cancellable, sweep_nd_percent_with_metrics, sweep_procs,
+        sweep_procs_cancellable, sweep_procs_instrumented, sweep_procs_instrumented_cancellable,
+        sweep_procs_stored, sweep_procs_stored_cancellable, sweep_procs_with_metrics, Sweep,
         SweepMetrics, SweepPoint, SweepPointMetrics,
     };
 }

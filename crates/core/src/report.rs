@@ -1,8 +1,18 @@
 //! Serializable reports and plain-text rendering of campaign results.
+//!
+//! The JSON builders here ([`measurement_json`], [`sweep_text`], the
+//! explore report structs) are shared between the batch CLI and the
+//! `anacin serve` daemon: both construct their output through the same
+//! functions, which is what makes a service `Result` frame byte-identical
+//! to a local `anacin run --json` of the same request.
 
+use crate::config::CampaignConfig;
+use crate::explore::ExploreCoverage;
 use crate::measure::NdMeasurement;
 use crate::root_cause::CallstackRanking;
 use crate::sweep::Sweep;
+use anacin_kernels::matrix::KernelMatrix;
+use anacin_mpisim::explore::{ExploreConfig, ExploreStats};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -71,6 +81,50 @@ pub fn ranking_table(ranking: &CallstackRanking, limit: usize) -> String {
 /// Serialize any report type to pretty JSON.
 pub fn to_json<T: Serialize>(value: &T) -> serde_json::Result<String> {
     serde_json::to_string_pretty(value)
+}
+
+/// The measurement label `anacin run` prints: `<pattern> @ <nd>%`.
+pub fn campaign_label(config: &CampaignConfig) -> String {
+    format!("{} @ {}%", config.pattern, config.nd_percent)
+}
+
+/// The exact `anacin run --json` payload for a campaign's kernel matrix.
+pub fn measurement_json(
+    config: &CampaignConfig,
+    matrix: &KernelMatrix,
+) -> serde_json::Result<String> {
+    let m = NdMeasurement::from_matrix(campaign_label(config), matrix);
+    to_json(&MeasurementReport::from(&m))
+}
+
+/// The exact `anacin sweep` stdout for a finished sweep: the point table
+/// plus the Spearman monotonicity line.
+pub fn sweep_text(sweep: &Sweep) -> String {
+    format!(
+        "{}Spearman rho = {:.3}\n",
+        sweep_table(sweep),
+        sweep.spearman_monotonicity()
+    )
+}
+
+/// The explore half of a `run --explore --json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExploreSection {
+    /// The enumeration bounds the request asked for.
+    pub config: ExploreConfig,
+    /// What the enumeration found.
+    pub stats: ExploreStats,
+    /// How the sampled campaign relates to the enumerated space.
+    pub coverage: ExploreCoverage,
+}
+
+/// `run --explore --json`: the sampled measurement plus the enumeration.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunWithExploreReport {
+    /// The sampled campaign's measurement.
+    pub measurement: MeasurementReport,
+    /// The schedule-space enumeration and coverage.
+    pub explore: ExploreSection,
 }
 
 #[cfg(test)]

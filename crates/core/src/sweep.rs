@@ -4,11 +4,13 @@
 //! * [`sweep_procs`] — Figure 5 (process-count scaling);
 //! * [`sweep_iterations`] — Figure 6 (iteration scaling).
 
-use crate::campaign::{run_campaign_observed, run_campaign_with_metrics, CampaignError};
+use crate::campaign::{
+    check_cancel, run_campaign_cancellable, CampaignError, CampaignResult, Interrupted,
+};
 use crate::config::CampaignConfig;
-use crate::incremental::{run_campaign_incremental_with_metrics, IncrementalError};
+use crate::incremental::{run_campaign_incremental_cancellable, IncrementalError};
 use crate::measure::NdMeasurement;
-use anacin_obs::{MetricsRegistry, MetricsReport, Tracer};
+use anacin_obs::{CancelToken, MetricsRegistry, MetricsReport, Tracer};
 use anacin_stats::prelude::spearman;
 use anacin_store::ArtifactStore;
 use serde::{Deserialize, Serialize};
@@ -94,6 +96,77 @@ pub struct SweepMetrics {
     pub points: Vec<SweepPointMetrics>,
 }
 
+/// The `(x, label, config)` triples of each sweep kind, built in one
+/// place so the plain, instrumented, stored, and cancellable paths can
+/// never disagree on labels or configs.
+fn nd_configs(base: &CampaignConfig, percents: &[f64]) -> Vec<(f64, String, CampaignConfig)> {
+    percents
+        .iter()
+        .map(|&p| (p, format!("nd={p}%"), base.clone().nd_percent(p)))
+        .collect()
+}
+
+fn procs_configs(base: &CampaignConfig, procs: &[u32]) -> Vec<(f64, String, CampaignConfig)> {
+    procs
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.app.procs = n;
+            (n as f64, format!("{n} procs"), cfg)
+        })
+        .collect()
+}
+
+fn iterations_configs(
+    base: &CampaignConfig,
+    iterations: &[u32],
+) -> Vec<(f64, String, CampaignConfig)> {
+    iterations
+        .iter()
+        .map(|&it| {
+            (
+                it as f64,
+                format!("{it} iteration{}", if it == 1 { "" } else { "s" }),
+                base.clone().iterations(it),
+            )
+        })
+        .collect()
+}
+
+/// Run each point's campaign through `run`, checking the cancel token
+/// between points. `Interrupted::Cancelled` reports runs completed
+/// across the whole sweep, not just the point that was interrupted.
+fn sweep_points<E>(
+    parameter: &str,
+    configs: Vec<(f64, String, CampaignConfig)>,
+    cancel: Option<&CancelToken>,
+    mut run: impl FnMut(&CampaignConfig) -> Result<CampaignResult, Interrupted<E>>,
+) -> Result<Sweep, Interrupted<E>> {
+    let mut points = Vec::with_capacity(configs.len());
+    let mut done_runs = 0u32;
+    for (x, label, cfg) in configs {
+        check_cancel(cancel, done_runs)?;
+        let r = match run(&cfg) {
+            Ok(r) => r,
+            Err(Interrupted::Cancelled { completed_runs }) => {
+                return Err(Interrupted::Cancelled {
+                    completed_runs: done_runs + completed_runs,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        done_runs += cfg.runs;
+        points.push(SweepPoint {
+            x,
+            measurement: NdMeasurement::from_campaign(label, &r),
+        });
+    }
+    Ok(Sweep {
+        parameter: parameter.to_string(),
+        points,
+    })
+}
+
 /// Run one sweep point per `(x, label, config)` triple, giving each point
 /// its own registry so stage costs stay attributable per point. A shared
 /// [`Tracer`] (optionally) collects all points' timelines, with run ids
@@ -102,18 +175,30 @@ fn sweep_instrumented_impl(
     parameter: &str,
     configs: Vec<(f64, String, CampaignConfig)>,
     tracer: Option<&Tracer>,
-) -> Result<(Sweep, SweepMetrics), CampaignError> {
+    cancel: Option<&CancelToken>,
+) -> Result<(Sweep, SweepMetrics), Interrupted<CampaignError>> {
     let mut points = Vec::with_capacity(configs.len());
     let mut metric_points = Vec::with_capacity(configs.len());
     let mut aggregate = MetricsReport::default();
     let mut run_base = 0u32;
+    let mut done_runs = 0u32;
     for (x, label, cfg) in configs {
+        check_cancel(cancel, done_runs)?;
         let reg = MetricsRegistry::new();
         if let Some(t) = tracer {
             reg.attach_tracer(t);
         }
-        let r = run_campaign_observed(&cfg, Some(&reg), tracer, run_base)?;
+        let r = match run_campaign_cancellable(&cfg, Some(&reg), tracer, run_base, cancel) {
+            Ok(r) => r,
+            Err(Interrupted::Cancelled { completed_runs }) => {
+                return Err(Interrupted::Cancelled {
+                    completed_runs: done_runs + completed_runs,
+                })
+            }
+            Err(e) => return Err(e),
+        };
         run_base += cfg.runs;
+        done_runs += cfg.runs;
         let report = reg.report();
         aggregate.merge(&report);
         metric_points.push(SweepPointMetrics {
@@ -152,18 +237,21 @@ pub fn sweep_nd_percent_with_metrics(
     percents: &[f64],
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Sweep, CampaignError> {
-    let mut points = Vec::with_capacity(percents.len());
-    for &p in percents {
-        let cfg = base.clone().nd_percent(p);
-        let r = run_campaign_with_metrics(&cfg, metrics)?;
-        points.push(SweepPoint {
-            x: p,
-            measurement: NdMeasurement::from_campaign(format!("nd={p}%"), &r),
-        });
-    }
-    Ok(Sweep {
-        parameter: "nd_percent".to_string(),
-        points,
+    sweep_nd_percent_cancellable(base, percents, metrics, None).map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_nd_percent_with_metrics`] with cooperative cancellation: the
+/// token is checked between points and inside each campaign, so a
+/// SIGINT (CLI) or a `Cancel` frame (daemon) stops after the in-flight
+/// run finishes.
+pub fn sweep_nd_percent_cancellable(
+    base: &CampaignConfig,
+    percents: &[f64],
+    metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
+) -> Result<Sweep, Interrupted<CampaignError>> {
+    sweep_points("nd_percent", nd_configs(base, percents), cancel, |cfg| {
+        run_campaign_cancellable(cfg, metrics, None, 0, cancel)
     })
 }
 
@@ -176,14 +264,18 @@ pub fn sweep_nd_percent_instrumented(
     percents: &[f64],
     tracer: Option<&Tracer>,
 ) -> Result<(Sweep, SweepMetrics), CampaignError> {
-    sweep_instrumented_impl(
-        "nd_percent",
-        percents
-            .iter()
-            .map(|&p| (p, format!("nd={p}%"), base.clone().nd_percent(p)))
-            .collect(),
-        tracer,
-    )
+    sweep_nd_percent_instrumented_cancellable(base, percents, tracer, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_nd_percent_instrumented`] with cooperative cancellation.
+pub fn sweep_nd_percent_instrumented_cancellable(
+    base: &CampaignConfig,
+    percents: &[f64],
+    tracer: Option<&Tracer>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Sweep, SweepMetrics), Interrupted<CampaignError>> {
+    sweep_instrumented_impl("nd_percent", nd_configs(base, percents), tracer, cancel)
 }
 
 /// [`sweep_nd_percent`] against an artifact store: every campaign in the
@@ -196,18 +288,21 @@ pub fn sweep_nd_percent_stored(
     store: &ArtifactStore,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Sweep, IncrementalError> {
-    let mut points = Vec::with_capacity(percents.len());
-    for &p in percents {
-        let cfg = base.clone().nd_percent(p);
-        let r = run_campaign_incremental_with_metrics(&cfg, store, metrics)?;
-        points.push(SweepPoint {
-            x: p,
-            measurement: NdMeasurement::from_campaign(format!("nd={p}%"), &r),
-        });
-    }
-    Ok(Sweep {
-        parameter: "nd_percent".to_string(),
-        points,
+    sweep_nd_percent_stored_cancellable(base, percents, store, metrics, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_nd_percent_stored`] with cooperative cancellation; completed
+/// runs are published before the sweep stops, so it resumes warm.
+pub fn sweep_nd_percent_stored_cancellable(
+    base: &CampaignConfig,
+    percents: &[f64],
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
+) -> Result<Sweep, Interrupted<IncrementalError>> {
+    sweep_points("nd_percent", nd_configs(base, percents), cancel, |cfg| {
+        run_campaign_incremental_cancellable(cfg, store, metrics, None, 0, cancel)
     })
 }
 
@@ -223,19 +318,19 @@ pub fn sweep_procs_with_metrics(
     procs: &[u32],
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Sweep, CampaignError> {
-    let mut points = Vec::with_capacity(procs.len());
-    for &n in procs {
-        let mut cfg = base.clone();
-        cfg.app.procs = n;
-        let r = run_campaign_with_metrics(&cfg, metrics)?;
-        points.push(SweepPoint {
-            x: n as f64,
-            measurement: NdMeasurement::from_campaign(format!("{n} procs"), &r),
-        });
-    }
-    Ok(Sweep {
-        parameter: "procs".to_string(),
-        points,
+    sweep_procs_cancellable(base, procs, metrics, None).map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_procs_with_metrics`] with cooperative cancellation — see
+/// [`sweep_nd_percent_cancellable`].
+pub fn sweep_procs_cancellable(
+    base: &CampaignConfig,
+    procs: &[u32],
+    metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
+) -> Result<Sweep, Interrupted<CampaignError>> {
+    sweep_points("procs", procs_configs(base, procs), cancel, |cfg| {
+        run_campaign_cancellable(cfg, metrics, None, 0, cancel)
     })
 }
 
@@ -246,18 +341,18 @@ pub fn sweep_procs_instrumented(
     procs: &[u32],
     tracer: Option<&Tracer>,
 ) -> Result<(Sweep, SweepMetrics), CampaignError> {
-    sweep_instrumented_impl(
-        "procs",
-        procs
-            .iter()
-            .map(|&n| {
-                let mut cfg = base.clone();
-                cfg.app.procs = n;
-                (n as f64, format!("{n} procs"), cfg)
-            })
-            .collect(),
-        tracer,
-    )
+    sweep_procs_instrumented_cancellable(base, procs, tracer, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_procs_instrumented`] with cooperative cancellation.
+pub fn sweep_procs_instrumented_cancellable(
+    base: &CampaignConfig,
+    procs: &[u32],
+    tracer: Option<&Tracer>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Sweep, SweepMetrics), Interrupted<CampaignError>> {
+    sweep_instrumented_impl("procs", procs_configs(base, procs), tracer, cancel)
 }
 
 /// [`sweep_procs`] against an artifact store — see
@@ -268,19 +363,21 @@ pub fn sweep_procs_stored(
     store: &ArtifactStore,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Sweep, IncrementalError> {
-    let mut points = Vec::with_capacity(procs.len());
-    for &n in procs {
-        let mut cfg = base.clone();
-        cfg.app.procs = n;
-        let r = run_campaign_incremental_with_metrics(&cfg, store, metrics)?;
-        points.push(SweepPoint {
-            x: n as f64,
-            measurement: NdMeasurement::from_campaign(format!("{n} procs"), &r),
-        });
-    }
-    Ok(Sweep {
-        parameter: "procs".to_string(),
-        points,
+    sweep_procs_stored_cancellable(base, procs, store, metrics, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_procs_stored`] with cooperative cancellation — see
+/// [`sweep_nd_percent_stored_cancellable`].
+pub fn sweep_procs_stored_cancellable(
+    base: &CampaignConfig,
+    procs: &[u32],
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
+) -> Result<Sweep, Interrupted<IncrementalError>> {
+    sweep_points("procs", procs_configs(base, procs), cancel, |cfg| {
+        run_campaign_incremental_cancellable(cfg, store, metrics, None, 0, cancel)
     })
 }
 
@@ -296,22 +393,23 @@ pub fn sweep_iterations_with_metrics(
     iterations: &[u32],
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Sweep, CampaignError> {
-    let mut points = Vec::with_capacity(iterations.len());
-    for &it in iterations {
-        let cfg = base.clone().iterations(it);
-        let r = run_campaign_with_metrics(&cfg, metrics)?;
-        points.push(SweepPoint {
-            x: it as f64,
-            measurement: NdMeasurement::from_campaign(
-                format!("{it} iteration{}", if it == 1 { "" } else { "s" }),
-                &r,
-            ),
-        });
-    }
-    Ok(Sweep {
-        parameter: "iterations".to_string(),
-        points,
-    })
+    sweep_iterations_cancellable(base, iterations, metrics, None).map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_iterations_with_metrics`] with cooperative cancellation — see
+/// [`sweep_nd_percent_cancellable`].
+pub fn sweep_iterations_cancellable(
+    base: &CampaignConfig,
+    iterations: &[u32],
+    metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
+) -> Result<Sweep, Interrupted<CampaignError>> {
+    sweep_points(
+        "iterations",
+        iterations_configs(base, iterations),
+        cancel,
+        |cfg| run_campaign_cancellable(cfg, metrics, None, 0, cancel),
+    )
 }
 
 /// [`sweep_iterations`] against an artifact store — see
@@ -322,22 +420,25 @@ pub fn sweep_iterations_stored(
     store: &ArtifactStore,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Sweep, IncrementalError> {
-    let mut points = Vec::with_capacity(iterations.len());
-    for &it in iterations {
-        let cfg = base.clone().iterations(it);
-        let r = run_campaign_incremental_with_metrics(&cfg, store, metrics)?;
-        points.push(SweepPoint {
-            x: it as f64,
-            measurement: NdMeasurement::from_campaign(
-                format!("{it} iteration{}", if it == 1 { "" } else { "s" }),
-                &r,
-            ),
-        });
-    }
-    Ok(Sweep {
-        parameter: "iterations".to_string(),
-        points,
-    })
+    sweep_iterations_stored_cancellable(base, iterations, store, metrics, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_iterations_stored`] with cooperative cancellation — see
+/// [`sweep_nd_percent_stored_cancellable`].
+pub fn sweep_iterations_stored_cancellable(
+    base: &CampaignConfig,
+    iterations: &[u32],
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    cancel: Option<&CancelToken>,
+) -> Result<Sweep, Interrupted<IncrementalError>> {
+    sweep_points(
+        "iterations",
+        iterations_configs(base, iterations),
+        cancel,
+        |cfg| run_campaign_incremental_cancellable(cfg, store, metrics, None, 0, cancel),
+    )
 }
 
 /// [`sweep_iterations`], instrumented per point — see
@@ -347,19 +448,22 @@ pub fn sweep_iterations_instrumented(
     iterations: &[u32],
     tracer: Option<&Tracer>,
 ) -> Result<(Sweep, SweepMetrics), CampaignError> {
+    sweep_iterations_instrumented_cancellable(base, iterations, tracer, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`sweep_iterations_instrumented`] with cooperative cancellation.
+pub fn sweep_iterations_instrumented_cancellable(
+    base: &CampaignConfig,
+    iterations: &[u32],
+    tracer: Option<&Tracer>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Sweep, SweepMetrics), Interrupted<CampaignError>> {
     sweep_instrumented_impl(
         "iterations",
-        iterations
-            .iter()
-            .map(|&it| {
-                (
-                    it as f64,
-                    format!("{it} iteration{}", if it == 1 { "" } else { "s" }),
-                    base.clone().iterations(it),
-                )
-            })
-            .collect(),
+        iterations_configs(base, iterations),
         tracer,
+        cancel,
     )
 }
 

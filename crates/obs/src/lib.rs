@@ -46,11 +46,13 @@
 
 pub mod hist;
 pub mod progress;
+pub mod shutdown;
 pub mod sink;
 pub mod tracer;
 
 pub use hist::{HistBucket, LatencyHistogram};
 pub use progress::{MetricsDelta, ProgressReporter};
+pub use shutdown::{install_signal_handlers, request_shutdown, shutdown_requested, CancelToken};
 pub use sink::{ChromeJsonSink, CountingWriter, FoldedSink, SharedBuffer, TraceSink};
 pub use tracer::{
     current_thread_id, message_id, DrainStats, MatchedSpan, SimEvent, SimEventKind, SpanMark,

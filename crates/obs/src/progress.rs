@@ -301,4 +301,60 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         p.finish();
     }
+
+    /// Two jobs hammering the same registry while a third thread
+    /// snapshots it: every delta must stay non-negative (counters are
+    /// monotone, so `delta_since` with a saturating subtraction can
+    /// never go below zero even when a snapshot races a writer), and
+    /// the deltas must add up to exactly what was written — no
+    /// increment lost, none double-counted.
+    #[test]
+    fn delta_since_is_safe_under_two_concurrent_writers() {
+        const PER_WRITER: u64 = 20_000;
+        let m = MetricsRegistry::new();
+        let mut prev = m.report();
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let c = m.counter("sim/events");
+                std::thread::spawn(move || {
+                    for _ in 0..PER_WRITER {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        let mut total: u64 = 0;
+        loop {
+            let now = m.report();
+            let delta = now.delta_since(&prev);
+            for c in &delta.counters {
+                assert!(
+                    c.value <= 2 * PER_WRITER,
+                    "delta {}={} exceeds everything ever written: underflow",
+                    c.name,
+                    c.value
+                );
+                total += c.value;
+            }
+            let done = writers.iter().all(|w| w.is_finished());
+            prev = now;
+            if done {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // One final snapshot after both writers joined.
+        for w in writers {
+            w.join().unwrap();
+        }
+        let delta = m.report().delta_since(&prev);
+        for c in &delta.counters {
+            total += c.value;
+        }
+        assert_eq!(
+            total,
+            2 * PER_WRITER,
+            "interval deltas must sum to the total"
+        );
+    }
 }

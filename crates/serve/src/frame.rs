@@ -1,0 +1,178 @@
+//! Length-prefixed frame transport.
+//!
+//! A frame on the wire is a 4-byte big-endian payload length followed by
+//! that many bytes of JSON (one serialized [`Frame`]). The length cap
+//! ([`MAX_FRAME_LEN`]) is checked *before* allocating, so a corrupt or
+//! hostile header can never balloon memory; a truncated stream is a
+//! clean [`FrameError`], never a panic — the same discipline as the
+//! store's wire primitives.
+
+use crate::proto::Frame;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload bytes. Generous: the largest real
+/// payload is a pretty-printed sweep or explore report, well under a
+/// megabyte; 16 MiB leaves room without letting a bad header allocate
+/// the machine.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The stream ended inside a frame (mid-header or mid-payload).
+    Truncated,
+    /// A header declared a payload longer than [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The payload was not valid JSON for a [`Frame`].
+    Decode(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport failed: {e}"),
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Decode(e) => write!(f, "frame payload undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Serialize `frame` to its wire bytes (header + JSON payload).
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, FrameError> {
+    let json = serde_json::to_string(frame).map_err(|e| FrameError::Decode(e.to_string()))?;
+    let payload = json.as_bytes();
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Decode one frame from the front of `bytes`, returning it and the
+/// number of bytes consumed. Any prefix of a valid encoding errors
+/// cleanly (never panics).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+    let mut cursor = io::Cursor::new(bytes);
+    match read_frame(&mut cursor)? {
+        Some(f) => Ok((f, cursor.position() as usize)),
+        None => Err(FrameError::Truncated),
+    }
+}
+
+/// Write one frame and flush, so the peer sees it immediately (progress
+/// frames are only useful live).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError> {
+    let bytes = encode_frame(frame)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` is a clean end of stream (the peer closed
+/// between frames); ending *inside* a frame is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| FrameError::Decode(format!("payload is not UTF-8: {e}")))?;
+    let frame = serde_json::from_str(text).map_err(|e| FrameError::Decode(e.to_string()))?;
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::PROTOCOL_SCHEMA;
+
+    fn hello() -> Frame {
+        Frame::Hello {
+            schema: PROTOCOL_SCHEMA,
+            peer: "test".into(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let bytes = encode_frame(&hello()).unwrap();
+        let (back, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(back, hello());
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_is_truncated() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+        let bytes = encode_frame(&hello()).unwrap();
+        for cut in 1..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(FrameError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_errors_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bytes.extend_from_slice(b"whatever");
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_decode_error() {
+        let payload = b"not json at all";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(payload);
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::Decode(_))));
+    }
+
+    #[test]
+    fn frames_concatenate_on_the_wire() {
+        let a = hello();
+        let b = Frame::Cancel { id: 3 };
+        let mut wire = encode_frame(&a).unwrap();
+        wire.extend(encode_frame(&b).unwrap());
+        let mut r: &[u8] = &wire;
+        assert_eq!(read_frame(&mut r).unwrap(), Some(a));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the frame protocol: any frame round-trips
+//! through encode → decode bit-for-bit, and no mangled wire input —
+//! truncated, oversized, or garbage — ever panics the decoder. The
+//! same discipline as the store's wire proptests: a hostile or corrupt
+//! peer produces errors, never undefined behaviour.
+
+use anacin_core::prelude::CampaignConfig;
+use anacin_miniapps::Pattern;
+use anacin_serve::frame::{decode_frame, encode_frame, read_frame, FrameError, MAX_FRAME_LEN};
+use anacin_serve::proto::{Frame, JobSpec};
+use proptest::prelude::*;
+
+fn short_string() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/;_ \"\\\n{}";
+    prop::collection::vec(0usize..ALPHABET.len(), 0..32)
+        .prop_map(|ix| ix.iter().map(|&i| ALPHABET[i] as char).collect())
+}
+
+fn config() -> impl Strategy<Value = CampaignConfig> {
+    (
+        (0usize..5, 2u32..64, 0u32..=100),
+        (1u32..40, 1u32..4, 0u64..u64::MAX),
+    )
+        .prop_map(|((pat, procs, nd), (runs, iterations, seed))| {
+            let pattern = [
+                Pattern::MessageRace,
+                Pattern::Amg2013,
+                Pattern::UnstructuredMesh,
+                Pattern::Collectives,
+                Pattern::Stencil2d,
+            ][pat];
+            CampaignConfig::new(pattern, procs)
+                .nd_percent(nd as f64)
+                .runs(runs)
+                .iterations(iterations)
+                .base_seed(seed)
+        })
+}
+
+fn job() -> impl Strategy<Value = JobSpec> {
+    prop_oneof![
+        config().prop_map(|config| JobSpec::Campaign { config }),
+        (config(), 0usize..3).prop_map(|(config, k)| JobSpec::Sweep {
+            kind: ["nd", "procs", "iterations"][k].to_string(),
+            config,
+        }),
+        (config(), 1usize..10_000, 0u8..2).prop_map(|(config, budget, brute)| {
+            JobSpec::Explore {
+                config,
+                budget,
+                brute_force: brute == 1,
+            }
+        }),
+    ]
+}
+
+/// `Option<u64>` via a presence coin plus a value range (the stand-in
+/// has no `prop::option`).
+fn maybe_ms() -> impl Strategy<Value = Option<u64>> {
+    (0u8..2, 0u64..1_000_000).prop_map(|(some, v)| (some == 1).then_some(v))
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (0u16..=u16::MAX, short_string()).prop_map(|(schema, peer)| Frame::Hello { schema, peer }),
+        (0u64..u64::MAX, job()).prop_map(|(id, job)| Frame::Submit { id, job }),
+        (
+            (0u64..u64::MAX, 0u64..1_000, 0u64..1_000, 0u64..u64::MAX),
+            (0.0f64..1e9, short_string(), maybe_ms()),
+        )
+            .prop_map(
+                |((id, done_runs, total_runs, events), (event_rate, hottest, eta_ms))| {
+                    Frame::Progress {
+                        id,
+                        done_runs,
+                        total_runs,
+                        events,
+                        event_rate,
+                        hottest,
+                        eta_ms,
+                    }
+                }
+            ),
+        (
+            (0u64..u64::MAX, short_string(), 0u64..u64::MAX),
+            (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        )
+            .prop_map(
+                |((id, payload, elapsed_ms), (store_hits, store_misses, store_puts))| {
+                    Frame::Result {
+                        id,
+                        payload,
+                        elapsed_ms,
+                        store_hits,
+                        store_misses,
+                        store_puts,
+                    }
+                }
+            ),
+        (0u64..u64::MAX, short_string()).prop_map(|(id, message)| Frame::Error { id, message }),
+        (0u64..u64::MAX).prop_map(|id| Frame::Cancel { id }),
+        (0u64..u64::MAX, 0u64..u64::MAX)
+            .prop_map(|(id, retry_after_ms)| Frame::Busy { id, retry_after_ms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every frame shape round-trips through the wire encoding exactly,
+    /// consuming exactly its own bytes.
+    #[test]
+    fn any_frame_round_trips(f in frame()) {
+        let bytes = encode_frame(&f).expect("encode");
+        let (back, used) = decode_frame(&bytes).expect("decode");
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Truncating an encoded frame anywhere yields a clean Truncated
+    /// error — never a panic, never a bogus frame.
+    #[test]
+    fn truncated_frames_error_cleanly(f in frame(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_frame(&f).expect("encode");
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(matches!(
+                decode_frame(&bytes[..cut]),
+                Err(FrameError::Truncated)
+            ));
+        }
+    }
+
+    /// A header declaring an over-cap payload is rejected before any
+    /// allocation, whatever bytes follow it.
+    #[test]
+    fn oversized_headers_are_rejected(
+        excess in 1u64..(u32::MAX as u64 - MAX_FRAME_LEN as u64),
+        tail in prop::collection::vec(0u8..=u8::MAX, 0..64),
+    ) {
+        let len = (MAX_FRAME_LEN as u64 + excess) as u32;
+        let mut wire = len.to_be_bytes().to_vec();
+        wire.extend(tail);
+        prop_assert!(matches!(decode_frame(&wire), Err(FrameError::TooLarge(_))));
+    }
+
+    /// Arbitrary garbage never panics the reader: any byte soup decodes
+    /// to a frame, errors, or reports clean EOF.
+    #[test]
+    fn garbage_bytes_never_panic(bytes in prop::collection::vec(0u8..=u8::MAX, 0..256)) {
+        let mut r: &[u8] = &bytes;
+        let _ = read_frame(&mut r);
+    }
+
+    /// Back-to-back frames on one stream each read back intact.
+    #[test]
+    fn concatenated_frames_stream_back(frames in prop::collection::vec(frame(), 0..6)) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend(encode_frame(f).expect("encode"));
+        }
+        let mut r: &[u8] = &wire;
+        for f in &frames {
+            prop_assert_eq!(read_frame(&mut r).expect("read").as_ref(), Some(f));
+        }
+        prop_assert!(read_frame(&mut r).expect("clean eof").is_none());
+    }
+}
