@@ -11,6 +11,7 @@
 //! stages are visible per commit.
 
 use anacin_core::prelude::*;
+use anacin_kernels::prelude::*;
 use anacin_miniapps::Pattern;
 use anacin_obs::{MetricsRegistry, Tracer};
 use anacin_store::ArtifactStore;
@@ -37,6 +38,9 @@ pub struct BaselineConfig {
     pub samples: u32,
     /// Seed of the first run in every campaign.
     pub base_seed: u64,
+    /// Run counts the gram-at-scale tier measures the dot schedules at
+    /// (default `[64, 256]`).
+    pub gram_scale_runs: Vec<usize>,
 }
 
 impl Default for BaselineConfig {
@@ -46,6 +50,7 @@ impl Default for BaselineConfig {
             runs: 10,
             samples: 3,
             base_seed: 1,
+            gram_scale_runs: vec![64, 256],
         }
     }
 }
@@ -117,6 +122,55 @@ pub struct ServeRow {
     pub serve_speedup: f64,
 }
 
+/// Gram-schedule timings at one run count of the gram-at-scale tier:
+/// the same synthetic amg2013 feature set pushed through every dot
+/// schedule, single-threaded so the ratios measure the schedules, not
+/// the thread pool. `exact_ms` is the reference full recompute with the
+/// scalar merge-join dot; `blocked_ms` and `append_ms` are bit-identical
+/// alternatives, `landmark_ms` is the opt-in approximation.
+#[derive(Debug, Clone, Serialize)]
+pub struct GramScaleRow {
+    /// Feature vectors (runs) in the Gram matrix.
+    pub runs: usize,
+    /// Full recompute, scalar merge-join dot (the pre-existing path).
+    pub exact_ms: f64,
+    /// Full recompute, blocked/galloping dot (bit-identical to exact).
+    pub blocked_ms: f64,
+    /// One `gram_append` step: growing the stored `runs−1` matrix by
+    /// one run (`runs` new dots instead of `runs·(runs−1)/2`).
+    pub append_ms: f64,
+    /// Nyström landmark approximation with `landmark_k` landmarks.
+    pub landmark_ms: f64,
+    /// Landmarks used by the approximation (⌈√runs⌉).
+    pub landmark_k: usize,
+    /// Frobenius error bound the approximation reported.
+    pub landmark_error_bound: f64,
+    /// `exact_ms / blocked_ms`.
+    pub blocked_speedup: f64,
+    /// `exact_ms / append_ms`.
+    pub append_speedup: f64,
+}
+
+/// The gram-at-scale tier: WL features of a real amg2013 campaign held
+/// fixed (cycled and salted up to the largest run count) while the
+/// dot-product schedules race on identical inputs, plus the WL
+/// relabelling lane-width A/B.
+#[derive(Debug, Clone, Serialize)]
+pub struct GramScaleReport {
+    /// Pattern the source features came from.
+    pub pattern: String,
+    /// Distinct real feature vectors the synthetic runs cycle over.
+    pub source_runs: usize,
+    /// Median wall-time of WL feature extraction over the source graphs
+    /// with 4 interleaved FNV lanes.
+    pub wl_lanes4_ms: f64,
+    /// The same extraction with 8 interleaved lanes (the shipped width;
+    /// labels are bit-identical at any width).
+    pub wl_lanes8_ms: f64,
+    /// One row per measured run count.
+    pub rows: Vec<GramScaleRow>,
+}
+
 /// The full baseline: one row per paper pattern.
 #[derive(Debug, Clone, Serialize)]
 pub struct BaselineReport {
@@ -130,6 +184,8 @@ pub struct BaselineReport {
     pub patterns: Vec<StageTimings>,
     /// Service-path latency (filled by the CLI, absent in library runs).
     pub serve: Option<ServeRow>,
+    /// Gram-at-scale tier (fixed features, growing run counts).
+    pub gram_scale: Option<GramScaleReport>,
 }
 
 impl BaselineReport {
@@ -183,6 +239,27 @@ impl BaselineReport {
                 s.pattern, s.serve_cold_ms, s.serve_warm_ms, s.serve_speedup
             ));
         }
+        if let Some(g) = &self.gram_scale {
+            out.push_str(&format!(
+                "gram_scale ({}, {} source vector(s)): wl_lanes4={:.3} ms, wl_lanes8={:.3} ms\n",
+                g.pattern, g.source_runs, g.wl_lanes4_ms, g.wl_lanes8_ms
+            ));
+            for r in &g.rows {
+                out.push_str(&format!(
+                    "  R={:<4} exact={:.3} ms  blocked={:.3} ms ({:.1}x)  \
+                     append={:.3} ms ({:.1}x)  landmark(k={})={:.3} ms bound={:.3}\n",
+                    r.runs,
+                    r.exact_ms,
+                    r.blocked_ms,
+                    r.blocked_speedup,
+                    r.append_ms,
+                    r.append_speedup,
+                    r.landmark_k,
+                    r.landmark_ms,
+                    r.landmark_error_bound
+                ));
+            }
+        }
         out
     }
 }
@@ -198,6 +275,113 @@ fn median(mut xs: Vec<f64>) -> f64 {
         xs[n / 2]
     } else {
         (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Median wall-time of `reps` invocations of `f`, in milliseconds.
+fn time_median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut ts = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        ts.push(t.elapsed().as_nanos() as f64 / 1e6);
+    }
+    median(ts)
+}
+
+/// The gram-at-scale tier: extract WL features from one real amg2013
+/// campaign, cycle them (salted with one unique high-id feature per
+/// replica, so every synthetic run is distinct) up to the largest run
+/// count, and race the dot schedules on the identical feature set.
+/// Everything times single-threaded medians of 3 so the ratios compare
+/// schedules, not thread pools.
+pub fn run_gram_scale(cfg: &BaselineConfig) -> GramScaleReport {
+    let source_runs = 10u32;
+    let ccfg = CampaignConfig::new(Pattern::Amg2013, cfg.procs)
+        .runs(source_runs)
+        .base_seed(cfg.base_seed);
+    let result = run_campaign(&ccfg).expect("gram-scale source campaign");
+    let kernel = WlKernel::default();
+    let wl_lanes4_ms = time_median_ms(3, || {
+        for g in &result.graphs {
+            std::hint::black_box(kernel.features_with_lanes(g, 4));
+        }
+    });
+    let wl_lanes8_ms = time_median_ms(3, || {
+        for g in &result.graphs {
+            std::hint::black_box(kernel.features_with_lanes(g, 8));
+        }
+    });
+    let source: Vec<SparseFeatures> = result.graphs.iter().map(|g| kernel.features(g)).collect();
+    let max_runs = cfg.gram_scale_runs.iter().copied().max().unwrap_or(0);
+    let feats: Vec<SparseFeatures> = (0..max_runs)
+        .map(|i| {
+            let mut pairs: Vec<(u64, f64)> = source[i % source.len()].iter().collect();
+            pairs.push((0xFFFF_0000_0000_0000 + i as u64, 1.0 + i as f64));
+            SparseFeatures::from_pairs(pairs)
+        })
+        .collect();
+    let rows = cfg
+        .gram_scale_runs
+        .iter()
+        .map(|&r| {
+            let slice = &feats[..r];
+            let exact_ms = time_median_ms(3, || {
+                std::hint::black_box(gram_from_features_with_dot(
+                    "wl",
+                    slice,
+                    1,
+                    DotKind::Scalar,
+                    None,
+                ));
+            });
+            let blocked_ms = time_median_ms(3, || {
+                std::hint::black_box(gram_from_features_with_dot(
+                    "wl",
+                    slice,
+                    1,
+                    DotKind::Blocked,
+                    None,
+                ));
+            });
+            let prev = gram_from_features_with_dot("wl", &slice[..r - 1], 1, DotKind::Scalar, None);
+            let append_ms = time_median_ms(3, || {
+                std::hint::black_box(gram_append(&prev, slice, 1, DotKind::Scalar, None));
+            });
+            let k = (r as f64).sqrt().round() as usize;
+            let mut bound = 0.0;
+            let landmark_ms = time_median_ms(3, || {
+                let a = landmark_gram("wl", slice, k, 1, DotKind::Scalar, None);
+                bound = a.error_bound;
+                std::hint::black_box(a);
+            });
+            GramScaleRow {
+                runs: r,
+                exact_ms,
+                blocked_ms,
+                append_ms,
+                landmark_ms,
+                landmark_k: k,
+                landmark_error_bound: bound,
+                blocked_speedup: if blocked_ms > 0.0 {
+                    exact_ms / blocked_ms
+                } else {
+                    0.0
+                },
+                append_speedup: if append_ms > 0.0 {
+                    exact_ms / append_ms
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    GramScaleReport {
+        pattern: Pattern::Amg2013.to_string(),
+        source_runs: source.len(),
+        wl_lanes4_ms,
+        wl_lanes8_ms,
+        rows,
     }
 }
 
@@ -331,6 +515,7 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         samples: cfg.samples,
         patterns: rows,
         serve: None,
+        gram_scale: Some(run_gram_scale(cfg)),
     }
 }
 
@@ -353,6 +538,7 @@ mod tests {
             runs: 2,
             samples: 1,
             base_seed: 1,
+            gram_scale_runs: vec![8, 16],
         };
         let r = run_baseline(&cfg);
         assert_eq!(r.patterns.len(), Pattern::ALL.len());
@@ -389,6 +575,25 @@ mod tests {
         assert!(table.contains("trace_ovh%"), "{table}");
         assert!(table.contains("kernel_x"), "{table}");
         assert!(table.contains("store_x"), "{table}");
+        let g = r.gram_scale.as_ref().expect("gram_scale section");
+        assert_eq!(g.pattern, "amg2013");
+        assert_eq!(g.source_runs, 10);
+        assert!(g.wl_lanes4_ms >= 0.0 && g.wl_lanes8_ms >= 0.0);
+        assert_eq!(g.rows.len(), 2);
+        for (row, want) in g.rows.iter().zip([8usize, 16]) {
+            assert_eq!(row.runs, want);
+            assert!(row.exact_ms > 0.0, "R={}", row.runs);
+            assert!(row.blocked_ms > 0.0 && row.append_ms > 0.0 && row.landmark_ms > 0.0);
+            assert_eq!(row.landmark_k, (row.runs as f64).sqrt().round() as usize);
+            assert!(
+                row.landmark_error_bound.is_finite() && row.landmark_error_bound >= 0.0,
+                "R={}: bound {}",
+                row.runs,
+                row.landmark_error_bound
+            );
+            assert!(row.blocked_speedup > 0.0 && row.append_speedup > 0.0);
+        }
+        assert!(table.contains("gram_scale"), "{table}");
         // Serialises cleanly for BENCH_baseline.json.
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"patterns\""));
@@ -399,5 +604,9 @@ mod tests {
         assert!(json.contains("\"store_cold_ms\""));
         assert!(json.contains("\"store_warm_ms\""));
         assert!(json.contains("\"store_speedup\""));
+        assert!(json.contains("\"gram_scale\""));
+        assert!(json.contains("\"wl_lanes4_ms\""));
+        assert!(json.contains("\"append_speedup\""));
+        assert!(json.contains("\"landmark_error_bound\""));
     }
 }

@@ -13,7 +13,10 @@ pub mod figures;
 pub mod scale;
 pub mod trend;
 
-pub use baseline::{run_baseline, BaselineConfig, BaselineReport, ServeRow, StageTimings};
+pub use baseline::{
+    run_baseline, run_gram_scale, BaselineConfig, BaselineReport, GramScaleReport, GramScaleRow,
+    ServeRow, StageTimings,
+};
 pub use figures::{by_id, FigureOutput, Scale, ALL_IDS};
 pub use scale::{
     peak_rss_mib, reset_peak_rss, run_large_baseline, LargeBaselineReport, LargeScaleConfig,

@@ -39,6 +39,10 @@ const LARGE_METRICS: &[&str] = &[
 /// Service-path metrics tracked from a baseline report's `serve` row.
 const SERVE_METRICS: &[&str] = &["serve_cold_ms", "serve_warm_ms"];
 
+/// Dot-schedule metrics tracked per run count of a baseline report's
+/// `gram_scale` section.
+const GRAM_SCALE_METRICS: &[&str] = &["exact_ms", "blocked_ms", "append_ms", "landmark_ms"];
+
 /// Regressions smaller than this many units (milliseconds / MiB) never
 /// flag, whatever the relative change: sub-millisecond stages jitter by
 /// integer factors without meaning anything.
@@ -164,6 +168,34 @@ fn extract(content: &str) -> Result<(String, Vec<MetricRow>), String> {
         for metric in SERVE_METRICS {
             if let Some(value) = map_get(s, metric).as_f64() {
                 rows.push((format!("serve/{name}"), metric.to_string(), value));
+            }
+        }
+    }
+    // Newer baseline reports carry a `gram_scale` section: the dot
+    // schedules raced on a fixed feature set at growing run counts,
+    // plus the WL lane-width A/B. Older reports lack the key and their
+    // series simply start when it appears.
+    if let Some(g) = map_get(obj, "gram_scale").as_object() {
+        for metric in ["wl_lanes4_ms", "wl_lanes8_ms"] {
+            if let Some(value) = map_get(g, metric).as_f64() {
+                rows.push(("gram_scale".to_string(), metric.to_string(), value));
+            }
+        }
+        if let Some(scale_rows) = map_get(g, "rows").as_array() {
+            for row in scale_rows {
+                let Some(row) = row.as_object() else { continue };
+                let Some(r) = map_get(row, "runs").as_f64() else {
+                    continue;
+                };
+                for metric in GRAM_SCALE_METRICS {
+                    if let Some(value) = map_get(row, metric).as_f64() {
+                        rows.push((
+                            format!("gram_scale/{}", r as u64),
+                            metric.to_string(),
+                            value,
+                        ));
+                    }
+                }
             }
         }
     }
@@ -355,6 +387,22 @@ mod tests {
         )
     }
 
+    fn baseline_with_gram_scale(exact_ms: f64) -> String {
+        format!(
+            r#"{{"procs":32,"runs":10,"samples":3,"patterns":[
+                {{"pattern":"message-race","samples":3,"simulate_ms":0.3,
+                  "graph_ms":0.04,"features_ms":0.5,"gram_ms":0.2,
+                  "total_ms":5.0,"trace_overhead_pct":null,
+                  "events":3780,"dot_products":165}}],
+                "gram_scale":{{"pattern":"amg2013","source_runs":10,
+                  "wl_lanes4_ms":1.2,"wl_lanes8_ms":1.0,
+                  "rows":[{{"runs":256,"exact_ms":{exact_ms},"blocked_ms":20.0,
+                    "append_ms":0.4,"landmark_ms":4.0,"landmark_k":16,
+                    "landmark_error_bound":3.5,"blocked_speedup":2.0,
+                    "append_speedup":100.0}}]}}}}"#
+        )
+    }
+
     fn files(contents: &[(&str, String)]) -> Vec<(String, String)> {
         contents
             .iter()
@@ -456,6 +504,38 @@ mod tests {
             .collect();
         assert_eq!(sims.len(), 2);
         assert!(sims.iter().all(|s| s.points.len() == 1));
+    }
+
+    #[test]
+    fn gram_scale_series_are_tracked_and_gate() {
+        let fs = files(&[
+            ("BENCH_001.json", baseline_with_gram_scale(40.0)),
+            ("BENCH_002.json", baseline_with_gram_scale(41.0)),
+            ("BENCH_003.json", baseline_with_gram_scale(80.0)),
+        ]);
+        let r = analyze_files(&fs, &TrendConfig::default()).unwrap();
+        let exact = r
+            .series
+            .iter()
+            .find(|s| s.pattern == "gram_scale/256" && s.metric == "exact_ms")
+            .expect("gram_scale exact_ms series");
+        assert_eq!(exact.points.len(), 3);
+        assert!(exact.flagged, "a doubled exact_ms must trip the gate");
+        let lanes = r
+            .series
+            .iter()
+            .find(|s| s.pattern == "gram_scale" && s.metric == "wl_lanes8_ms")
+            .expect("lane A/B series");
+        assert!(!lanes.flagged);
+        // Reports predating the section mix in cleanly: the series just
+        // starts at the first report that carries it.
+        let fs = files(&[
+            ("BENCH_001.json", baseline_report(5.0)),
+            ("BENCH_002.json", baseline_with_gram_scale(40.0)),
+        ]);
+        let r = analyze_files(&fs, &TrendConfig::default()).unwrap();
+        assert_eq!(r.regressions, 0);
+        assert!(r.series.iter().any(|s| s.pattern == "gram_scale/256"));
     }
 
     #[test]

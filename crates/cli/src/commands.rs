@@ -25,6 +25,18 @@ COMMANDS
               --runs N  --iterations N  --nodes N  --seed S  [--json]
               [--gram-schedule barrier|pipelined]  kernel-stage schedule
                                 (default pipelined; results bit-identical)
+              [--dot scalar|blocked]  sparse-dot inner loop (default scalar;
+                                blocked is faster and bit-identical)
+              [--gram-approx exact|landmarks=K]  opt-in Nystrom approximation
+                                of the Gram matrix from K landmark runs
+                                (R*K dots instead of R^2/2); reports a
+                                Frobenius error bound and never publishes
+                                approximate matrices to the store
+              [--append-to DIR]  grow a stored campaign: reuse the largest
+                                 stored Gram prefix of this run set and
+                                 compute only the new rows/columns (R+1
+                                 dots per added run); byte-identical to a
+                                 cold --store run of the same config
               [--metrics FILE]  write a pipeline metrics report (JSON) and
                                 print a per-stage summary table to stderr
               [--trace FILE[.json|.folded]]  record an execution trace:
@@ -76,9 +88,14 @@ COMMANDS
   client      submit one job to a running daemon and print its result
               (stdout is byte-identical to the local command)
               --socket PATH | --connect ADDR   where the daemon listens
-              [--job campaign|sweep|explore]   job kind (default campaign)
+              [--job campaign|sweep|explore|append]  job kind (default
+                               campaign; append grows the server's stored
+                               prefix of the run set)
               plus the matching run/sweep options (--pattern --procs --nd
               --runs --kind --schedule-budget --brute-force …)
+              [--retries N]    resubmit up to N times when the server answers
+                               Busy, sleeping its suggested backoff between
+                               attempts (default 3)
               [--peer NAME]    client name in server logs
               [--stats FILE]   write store hit/miss/put counts (JSON)
               progress frames stream to stderr while the job runs
@@ -194,6 +211,12 @@ fn campaign_of(args: &Args) -> Result<CampaignConfig, String> {
         .base_seed(args.get_parsed("seed", 1u64)?);
     if let Some(s) = args.get("gram-schedule") {
         cfg = cfg.schedule(s.parse()?);
+    }
+    if let Some(s) = args.get("dot") {
+        cfg = cfg.dot(s.parse()?);
+    }
+    if let Some(s) = args.get("gram-approx") {
+        cfg = cfg.approx(s.parse()?);
     }
     cfg.app.message_bytes = args.get_parsed("bytes", 1u64)?;
     Ok(cfg)
@@ -313,9 +336,10 @@ fn interrupted_err() -> String {
 /// printed measurement (and `--json` payload) is byte-identical to the
 /// materialised path's: the matrix is bit-identical by construction.
 fn cmd_run_streaming(args: &Args) -> Result<(), String> {
-    if args.get("store").is_some() {
+    if args.get("store").is_some() || args.get("append-to").is_some() {
         return Err(
-            "--stream keeps no traces or graphs to publish; drop --stream or --store".into(),
+            "--stream keeps no traces or graphs to publish; drop --stream or --store/--append-to"
+                .into(),
         );
     }
     if args.flag("explore") {
@@ -418,7 +442,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let (Some(reg), Some((_, t))) = (&reg, &tracer) {
         reg.attach_tracer(t);
     }
-    let store = match args.get("store") {
+    // `--append-to DIR` is `--store DIR` plus the append schedule: the
+    // largest stored Gram prefix of this run set is grown row-by-row
+    // (R+1 dots per added run) instead of recomputed from scratch.
+    let append = args.get("append-to").is_some();
+    if append && args.get("store").is_some() {
+        return Err("--append-to already names the store; drop --store or --append-to".into());
+    }
+    let store = match args.get("store").or_else(|| args.get("append-to")) {
         Some(dir) => {
             let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
             if let Some(reg) = &reg {
@@ -437,6 +468,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     });
     let token = anacin_obs::install_signal_handlers();
     let result = match &store {
+        Some((_, store)) if append => until_cancelled(run_campaign_append_cancellable(
+            &cfg,
+            store,
+            reg.as_ref(),
+            tracer.as_ref().map(|(_, t)| t),
+            0,
+            Some(&token),
+        )),
         Some((_, store)) => until_cancelled(run_campaign_incremental_cancellable(
             &cfg,
             store,
@@ -914,8 +953,10 @@ fn cmd_client(args: &Args) -> Result<(), String> {
             budget: args.get_parsed("schedule-budget", 4096usize)?,
             brute_force: args.flag("brute-force"),
         },
+        "append" => JobSpec::Append { config },
         other => return Err(format!("unknown job kind '{other}'")),
     };
+    let retries: u32 = args.get_parsed("retries", 3u32)?;
     let peer = args.get_or("peer", "anacin-client");
     let mut client = match args.get("connect") {
         Some(addr) => Client::connect_tcp(addr, &peer).map_err(|e| e.to_string())?,
@@ -925,7 +966,7 @@ fn cmd_client(args: &Args) -> Result<(), String> {
         }
     };
     let outcome = client
-        .run(1, job, |frame| {
+        .run_with_retry(1, job, retries, |frame| {
             if let Frame::Progress {
                 done_runs,
                 total_runs,
@@ -967,7 +1008,8 @@ fn cmd_client(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Outcome::Rejected { retry_after_ms } => Err(format!(
-            "server refused the job (queue full or draining); retry in {retry_after_ms} ms"
+            "server refused the job {} time(s) (queue full or draining); retry in {retry_after_ms} ms",
+            retries + 1
         )),
         Outcome::Failed { message } => Err(format!("job failed: {message}")),
     }
@@ -1058,6 +1100,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                 runs: args.get_parsed("runs", 10u32)?,
                 samples: args.get_parsed("samples", 3u32)?,
                 base_seed: args.get_parsed("seed", 1u64)?,
+                ..Default::default()
             };
             let mut report = anacin_bench::run_baseline(&cfg);
             // Service-path row: the same campaign submitted twice over a

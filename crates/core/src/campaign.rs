@@ -5,13 +5,15 @@
 //! times to collect a sample of non-deterministic executions", §III-B),
 //! compressed from cluster-hours to milliseconds by the simulator.
 
-use crate::config::{CampaignConfig, GramSchedule};
+use crate::config::{CampaignConfig, GramApprox, GramSchedule};
 use anacin_event_graph::EventGraph;
+use anacin_kernels::approx::landmark_gram;
 use anacin_kernels::feature::SparseFeatures;
+use anacin_kernels::kernel::GraphKernel;
 use anacin_kernels::matrix::{
-    gram_from_features_with_metrics, gram_matrix_with_metrics, KernelMatrix,
+    gram_from_features_with_dot, parallel_features_with_metrics, KernelMatrix,
 };
-use anacin_kernels::pipeline::gram_pipelined_with_metrics;
+use anacin_kernels::pipeline::gram_pipelined_seeded_with_dot;
 use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::stack::CallStackTable;
@@ -269,6 +271,78 @@ pub fn run_traces_cancellable(
     Ok(done)
 }
 
+/// The kernel stage shared by the materialised and streaming campaign
+/// runners: exact (barrier or pipelined, either dot kind) or
+/// landmark-approximate, per the config. The exact output is bit-identical
+/// across schedules, dot kinds, and thread counts; the approximate matrix
+/// is produced only when explicitly opted into via `config.approx`.
+pub(crate) fn gram_stage(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
+    match config.approx {
+        GramApprox::Landmarks(k) => {
+            let feats = parallel_features_with_metrics(kernel, graphs, config.threads, metrics);
+            landmark_gram(
+                &kernel.name(),
+                &feats,
+                k,
+                config.threads,
+                config.dot,
+                metrics,
+            )
+            .matrix
+        }
+        // Both schedules are bit-identical (asserted in tests/pipeline.rs);
+        // only the span/counter shape under `campaign/kernel` differs.
+        GramApprox::Exact => match config.schedule {
+            GramSchedule::Barrier => {
+                let feats = parallel_features_with_metrics(kernel, graphs, config.threads, metrics);
+                gram_from_features_with_dot(
+                    &kernel.name(),
+                    &feats,
+                    config.threads,
+                    config.dot,
+                    metrics,
+                )
+            }
+            GramSchedule::Pipelined => {
+                let seeds = (0..graphs.len()).map(|_| None).collect();
+                gram_pipelined_seeded_with_dot(
+                    kernel,
+                    graphs,
+                    seeds,
+                    config.threads,
+                    config.dot,
+                    metrics,
+                )
+                .1
+            }
+        },
+    }
+}
+
+/// The kernel stage over precomputed feature vectors — the streaming
+/// runner's variant, where every graph is already dropped by the time the
+/// Gram matrix is assembled.
+pub(crate) fn gram_stage_from_features(
+    kernel_name: &str,
+    feats: &[SparseFeatures],
+    config: &CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
+    match config.approx {
+        GramApprox::Landmarks(k) => {
+            landmark_gram(kernel_name, feats, k, config.threads, config.dot, metrics).matrix
+        }
+        GramApprox::Exact => {
+            gram_from_features_with_dot(kernel_name, feats, config.threads, config.dot, metrics)
+        }
+    }
+}
+
 /// Run a full campaign: simulate, graph, and measure.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
     run_campaign_with_metrics(config, None)
@@ -332,16 +406,7 @@ pub fn run_campaign_cancellable(
     let kernel = config.kernel.instantiate();
     let matrix = {
         let _s = metrics.map(|m| m.span("kernel"));
-        // Both schedules are bit-identical (asserted in tests/pipeline.rs);
-        // only the span/counter shape under `campaign/kernel` differs.
-        match config.schedule {
-            GramSchedule::Barrier => {
-                gram_matrix_with_metrics(kernel.as_ref(), &graphs, config.threads, metrics)
-            }
-            GramSchedule::Pipelined => {
-                gram_pipelined_with_metrics(kernel.as_ref(), &graphs, config.threads, metrics)
-            }
-        }
+        gram_stage(kernel.as_ref(), &graphs, config, metrics)
     };
     if let Some(m) = metrics {
         m.counter("campaign/runs").add(config.runs as u64);
@@ -526,7 +591,7 @@ pub fn run_campaign_streaming_cancellable(
     check_cancel(cancel, config.runs)?;
     let matrix = {
         let _s = metrics.map(|m| m.span("kernel"));
-        gram_from_features_with_metrics(&kernel.name(), &feats, config.threads, metrics)
+        gram_stage_from_features(&kernel.name(), &feats, config, metrics)
     };
     if let Some(m) = metrics {
         m.counter("campaign/runs").add(config.runs as u64);
@@ -785,6 +850,55 @@ mod tests {
         assert_eq!(report.counter("kernel/features"), Some(5));
         assert_eq!(report.counter("kernel/dot_products"), Some(5 * 6 / 2));
         assert_eq!(report.counter("stats/nan_distances"), Some(0));
+    }
+
+    #[test]
+    fn blocked_dot_campaign_is_bit_identical_for_both_schedules() {
+        use anacin_kernels::feature::DotKind;
+        let base = run_campaign(&CampaignConfig::new(Pattern::MessageRace, 6).runs(6)).unwrap();
+        for schedule in [GramSchedule::Barrier, GramSchedule::Pipelined] {
+            let cfg = CampaignConfig::new(Pattern::MessageRace, 6)
+                .runs(6)
+                .schedule(schedule)
+                .dot(DotKind::Blocked);
+            let r = run_campaign(&cfg).unwrap();
+            assert_eq!(r.matrix, base.matrix, "schedule={schedule}");
+            let s = run_campaign_streaming(&cfg).unwrap();
+            assert_eq!(s.matrix, base.matrix, "streaming, schedule={schedule}");
+        }
+    }
+
+    #[test]
+    fn landmark_campaign_is_opt_in_and_reports_its_error_bound() {
+        use crate::config::GramApprox;
+        assert_eq!(CampaignConfig::default().approx, GramApprox::Exact);
+        let cfg = CampaignConfig::new(Pattern::MessageRace, 6).runs(8);
+        let exact = run_campaign(&cfg).unwrap();
+        // K = runs: the landmark set spans everything, so the
+        // approximation reconstructs the exact matrix up to eigen-solver
+        // noise.
+        let full = run_campaign(&cfg.clone().approx(GramApprox::Landmarks(8))).unwrap();
+        let scale = exact
+            .matrix
+            .values()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1.0);
+        for (a, b) in full.matrix.values().iter().zip(exact.matrix.values()) {
+            assert!((a - b).abs() <= 1e-6 * scale, "{a} vs {b}");
+        }
+        // A genuinely rank-deficient landmark set still reports a finite,
+        // non-negative Frobenius error bound.
+        let reg = MetricsRegistry::new();
+        let r =
+            run_campaign_with_metrics(&cfg.clone().approx(GramApprox::Landmarks(3)), Some(&reg))
+                .unwrap();
+        assert_eq!(r.matrix.len(), 8);
+        let bound = reg
+            .report()
+            .gauge("kernel/approx_error_bound")
+            .expect("approx campaigns report their bound");
+        assert!(bound.is_finite() && bound >= 0.0, "bound={bound}");
     }
 
     #[test]

@@ -32,11 +32,12 @@
 //! bumping [`KEY_SCHEMA`], which cleanly invalidates every old key.
 
 use crate::campaign::{check_cancel, CampaignError, CampaignResult, Interrupted};
-use crate::config::{CampaignConfig, GramSchedule};
+use crate::config::{CampaignConfig, GramApprox, GramSchedule};
 use anacin_event_graph::EventGraph;
+use anacin_kernels::approx::landmark_gram;
 use anacin_kernels::feature::SparseFeatures;
-use anacin_kernels::matrix::{gram_from_features_with_metrics, KernelMatrix};
-use anacin_kernels::pipeline::gram_pipelined_seeded_with_metrics;
+use anacin_kernels::matrix::{gram_append, gram_from_features_with_dot, KernelMatrix};
+use anacin_kernels::pipeline::gram_pipelined_seeded_with_dot;
 use anacin_mpisim::engine::{simulate_traced_counted, SimError};
 use anacin_mpisim::program::Program;
 use anacin_mpisim::trace::Trace;
@@ -307,6 +308,107 @@ pub fn run_campaign_incremental_cancellable(
     let _campaign_span = metrics.map(|m| m.span("campaign"));
     let program = config.pattern.build(&config.app);
     let runs = config.runs;
+    let (traces, graphs) =
+        load_or_compute_runs(&program, config, store, metrics, tracer, run_base, cancel)?;
+
+    // Stage 3: per-run feature vectors, then the Gram matrix from them.
+    let kernel = config.kernel.instantiate();
+    let matrix = {
+        let _s = metrics.map(|m| m.span("kernel"));
+        let mut feats: Vec<Option<SparseFeatures>> = (0..runs).map(|_| None).collect();
+        let mut missing = Vec::new();
+        for run in 0..runs {
+            match get_or_heal::<SparseFeatures>(store, features_fingerprint(config, run))? {
+                Some(f) => feats[run as usize] = Some(f),
+                None => missing.push(run as usize),
+            }
+        }
+        if let GramApprox::Landmarks(k) = config.approx {
+            // Approximate matrices are never published to (or read from)
+            // the store: campaign-level keys name exact artifacts only,
+            // so an approximate run can never poison a warm exact one.
+            // Per-run features still warm-hit and publish as usual.
+            let feats = fill_missing_features(config, store, &graphs, &missing, feats, metrics)?;
+            landmark_gram(
+                &kernel.name(),
+                &feats,
+                k,
+                config.threads,
+                config.dot,
+                metrics,
+            )
+            .matrix
+        } else {
+            let campaign_fp = campaign_fingerprint(config);
+            let stored = get_or_heal::<KernelMatrix>(store, campaign_fp)?;
+            if !missing.is_empty() && stored.is_none() && config.schedule == GramSchedule::Pipelined
+            {
+                // Fused cold/mixed path: warm features seed the pipeline,
+                // missing ones are extracted by it, and dot products overlap
+                // the feature tail. The pipeline reads `graphs` in place, so
+                // no missing-graph clones are made. Bit-identical to the
+                // barrier path below (asserted in tests/pipeline.rs).
+                let (all, m) = gram_pipelined_seeded_with_dot(
+                    kernel.as_ref(),
+                    &graphs,
+                    feats,
+                    config.threads,
+                    config.dot,
+                    metrics,
+                );
+                for &i in &missing {
+                    store.put(features_fingerprint(config, i as u32), &all[i])?;
+                }
+                store.put(campaign_fp, &m)?;
+                store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
+                m
+            } else {
+                let feats =
+                    fill_missing_features(config, store, &graphs, &missing, feats, metrics)?;
+                match stored {
+                    Some(m) => m,
+                    None => {
+                        // Fully warm features (or barrier schedule): the plain
+                        // from-features Gram — the warm path never changes.
+                        let m = gram_from_features_with_dot(
+                            &kernel.name(),
+                            &feats,
+                            config.threads,
+                            config.dot,
+                            metrics,
+                        );
+                        store.put(campaign_fp, &m)?;
+                        store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
+                        m
+                    }
+                }
+            }
+        }
+    };
+
+    finish_counters(config, &matrix, metrics);
+    Ok(CampaignResult {
+        config: config.clone(),
+        program,
+        traces,
+        graphs,
+        matrix,
+    })
+}
+
+/// Stages 1–2 of the incremental pipeline: every run's trace and event
+/// graph, warm-or-computed and published. Shared verbatim by the full
+/// runner and the append runner, so both produce identical artifacts.
+fn load_or_compute_runs(
+    program: &Program,
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<Trace>, Vec<EventGraph>), Interrupted<IncrementalError>> {
+    let runs = config.runs;
 
     // Stage 1: traces — load what the store has, simulate the rest.
     let traces: Vec<Trace> = {
@@ -319,7 +421,7 @@ pub fn run_campaign_incremental_cancellable(
                 None => missing.push(run),
             }
         }
-        let simulated = simulate_runs(&program, config, &missing, metrics, cancel)?;
+        let simulated = simulate_runs(program, config, &missing, metrics, cancel)?;
         let cancelled = simulated.len() < missing.len();
         for (run, t) in simulated {
             store.put(run_fingerprint(config, run), &t)?;
@@ -362,83 +464,151 @@ pub fn run_campaign_incremental_cancellable(
         out
     };
     check_cancel(cancel, runs)?;
+    Ok((traces, graphs))
+}
 
-    // Stage 3: per-run feature vectors, then the Gram matrix from them.
-    let kernel = config.kernel.instantiate();
+/// Extract (and publish) the feature vectors listed in `missing`, then
+/// unwrap the fully-filled slot vector. Barrier-style extraction — the
+/// same code the mixed/barrier exact path has always used, so published
+/// bytes are unchanged.
+fn fill_missing_features(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    graphs: &[EventGraph],
+    missing: &[usize],
+    mut feats: Vec<Option<SparseFeatures>>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Vec<SparseFeatures>, StoreError> {
+    if !missing.is_empty() {
+        let kernel = config.kernel.instantiate();
+        let missing_graphs: Vec<EventGraph> = missing.iter().map(|&i| graphs[i].clone()).collect();
+        let computed = anacin_kernels::matrix::parallel_features_with_metrics(
+            kernel.as_ref(),
+            &missing_graphs,
+            config.threads,
+            metrics,
+        );
+        for (&i, f) in missing.iter().zip(computed) {
+            store.put(features_fingerprint(config, i as u32), &f)?;
+            feats[i] = Some(f);
+        }
+    }
+    Ok(feats
+        .into_iter()
+        .map(|f| f.expect("all slots filled"))
+        .collect())
+}
+
+/// The end-of-campaign counters shared by every incremental runner.
+fn finish_counters(
+    config: &CampaignConfig,
+    matrix: &KernelMatrix,
+    metrics: Option<&MetricsRegistry>,
+) {
+    if let Some(m) = metrics {
+        m.counter("campaign/runs").add(config.runs as u64);
+        let nan = anacin_stats::nan_count(&matrix.pairwise_distances());
+        m.counter("stats/nan_distances").add(nan as u64);
+    }
+}
+
+/// Append new runs onto a stored campaign: reuse the largest stored
+/// prefix matrix and compute only the new rows/columns.
+///
+/// For a stored `R`-run campaign extended to `R + 1` runs, the kernel
+/// stage performs exactly `R + 1` new dot products (one new row of the
+/// Gram matrix, diagonal included) instead of the `O(R²)` a recompute
+/// would — the difference between constant-time-per-run and
+/// quadratic-per-run growth when a campaign accretes thousands of runs.
+/// The extended matrix is published under the extended run-set
+/// fingerprint and is **byte-identical** to a cold recompute (asserted by
+/// the differential tests below): `gram_append` copies the stored values
+/// and computes each new entry by the exact expression the full schedule
+/// uses.
+///
+/// With no stored prefix (or an approximate config, which never publishes
+/// campaign-level artifacts) this delegates to
+/// [`run_campaign_incremental_cancellable`].
+pub fn run_campaign_append(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+) -> Result<CampaignResult, IncrementalError> {
+    run_campaign_append_with_metrics(config, store, None)
+}
+
+/// [`run_campaign_append`] with per-stage instrumentation; see
+/// [`run_campaign_incremental_with_metrics`].
+pub fn run_campaign_append_with_metrics(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<CampaignResult, IncrementalError> {
+    run_campaign_append_cancellable(config, store, metrics, None, 0, None)
+        .map_err(Interrupted::into_failure)
+}
+
+/// [`run_campaign_append`] with tracing and cooperative cancellation,
+/// mirroring [`run_campaign_incremental_cancellable`].
+pub fn run_campaign_append_cancellable(
+    config: &CampaignConfig,
+    store: &ArtifactStore,
+    metrics: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
+    run_base: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<CampaignResult, Interrupted<IncrementalError>> {
+    // Find the largest stored prefix: the campaign key is a pure function
+    // of the run set, so a shorter campaign with the same base seed is
+    // exactly a prefix of this one.
+    let mut prefix: Option<(u32, KernelMatrix)> = None;
+    if config.approx == GramApprox::Exact {
+        for r in (1..=config.runs).rev() {
+            let sub = config.clone().runs(r);
+            if let Some(m) = get_or_heal::<KernelMatrix>(store, campaign_fingerprint(&sub))? {
+                prefix = Some((r, m));
+                break;
+            }
+        }
+    }
+    let Some((stored_runs, stored)) = prefix else {
+        return run_campaign_incremental_cancellable(
+            config, store, metrics, tracer, run_base, cancel,
+        );
+    };
+
+    let _campaign_span = metrics.map(|m| m.span("campaign"));
+    let program = config.pattern.build(&config.app);
+    let (traces, graphs) =
+        load_or_compute_runs(&program, config, store, metrics, tracer, run_base, cancel)?;
+
     let matrix = {
         let _s = metrics.map(|m| m.span("kernel"));
-        let mut feats: Vec<Option<SparseFeatures>> = (0..runs).map(|_| None).collect();
+        let mut feats: Vec<Option<SparseFeatures>> = (0..config.runs).map(|_| None).collect();
         let mut missing = Vec::new();
-        for run in 0..runs {
+        for run in 0..config.runs {
             match get_or_heal::<SparseFeatures>(store, features_fingerprint(config, run))? {
                 Some(f) => feats[run as usize] = Some(f),
                 None => missing.push(run as usize),
             }
         }
-        let campaign_fp = campaign_fingerprint(config);
-        let stored = get_or_heal::<KernelMatrix>(store, campaign_fp)?;
-        if !missing.is_empty() && stored.is_none() && config.schedule == GramSchedule::Pipelined {
-            // Fused cold/mixed path: warm features seed the pipeline,
-            // missing ones are extracted by it, and dot products overlap
-            // the feature tail. The pipeline reads `graphs` in place, so
-            // no missing-graph clones are made. Bit-identical to the
-            // barrier path below (asserted in tests/pipeline.rs).
-            let (all, m) = gram_pipelined_seeded_with_metrics(
-                kernel.as_ref(),
-                &graphs,
-                feats,
+        let feats = fill_missing_features(config, store, &graphs, &missing, feats, metrics)?;
+        let mut m = stored;
+        for grown in stored_runs + 1..=config.runs {
+            m = gram_append(
+                &m,
+                &feats[..grown as usize],
                 config.threads,
+                config.dot,
                 metrics,
             );
-            for &i in &missing {
-                store.put(features_fingerprint(config, i as u32), &all[i])?;
-            }
-            store.put(campaign_fp, &m)?;
-            store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
-            m
-        } else {
-            if !missing.is_empty() {
-                let missing_graphs: Vec<EventGraph> =
-                    missing.iter().map(|&i| graphs[i].clone()).collect();
-                let computed = anacin_kernels::matrix::parallel_features_with_metrics(
-                    kernel.as_ref(),
-                    &missing_graphs,
-                    config.threads,
-                    metrics,
-                );
-                for (&i, f) in missing.iter().zip(computed) {
-                    store.put(features_fingerprint(config, i as u32), &f)?;
-                    feats[i] = Some(f);
-                }
-            }
-            let feats: Vec<SparseFeatures> = feats
-                .into_iter()
-                .map(|f| f.expect("all slots filled"))
-                .collect();
-            match stored {
-                Some(m) => m,
-                None => {
-                    // Fully warm features (or barrier schedule): the plain
-                    // from-features Gram — the warm path never changes.
-                    let m = gram_from_features_with_metrics(
-                        &kernel.name(),
-                        &feats,
-                        config.threads,
-                        metrics,
-                    );
-                    store.put(campaign_fp, &m)?;
-                    store.put(campaign_fp, &DistanceSample(m.pairwise_distances()))?;
-                    m
-                }
-            }
+            let fp = campaign_fingerprint(&config.clone().runs(grown));
+            store.put(fp, &m)?;
+            store.put(fp, &DistanceSample(m.pairwise_distances()))?;
         }
+        m
     };
 
-    if let Some(m) = metrics {
-        m.counter("campaign/runs").add(runs as u64);
-        let nan = anacin_stats::nan_count(&matrix.pairwise_distances());
-        m.counter("stats/nan_distances").add(nan as u64);
-    }
+    finish_counters(config, &matrix, metrics);
     Ok(CampaignResult {
         config: config.clone(),
         program,
@@ -621,5 +791,138 @@ mod tests {
             features_fingerprint(&barrier, 0)
         );
         assert_eq!(campaign_fingerprint(&cfg), campaign_fingerprint(&barrier));
+        // Nor the dot-product implementation (bit-identical results) or
+        // the approximation mode (approximate matrices are never stored,
+        // so the key may only ever name exact artifacts).
+        let blocked = cfg.clone().dot(anacin_kernels::feature::DotKind::Blocked);
+        let approx = cfg.clone().approx(GramApprox::Landmarks(4));
+        for other in [&blocked, &approx] {
+            assert_eq!(base, run_fingerprint(other, 0));
+            assert_eq!(
+                features_fingerprint(&cfg, 0),
+                features_fingerprint(other, 0)
+            );
+            assert_eq!(campaign_fingerprint(&cfg), campaign_fingerprint(other));
+        }
+    }
+
+    #[test]
+    fn append_one_run_does_exactly_r_plus_1_dots_and_matches_cold_recompute() {
+        let cfg = small_cfg(); // 6 runs
+        let (dir, store) = tmp_store("append");
+        run_campaign_incremental(&cfg, &store).unwrap();
+
+        // Append one run: the store holds the 6-run matrix, so the kernel
+        // stage must do exactly 7 new dot products (one new row, diagonal
+        // included) and extract exactly one new feature vector.
+        let cfg7 = cfg.clone().runs(7);
+        let reg = MetricsRegistry::new();
+        let appended = run_campaign_append_with_metrics(&cfg7, &store, Some(&reg)).unwrap();
+        let report = reg.report();
+        assert_eq!(report.counter("kernel/dot_products"), Some(7));
+        assert_eq!(report.counter("kernel/pipeline_tasks"), Some(7));
+        assert_eq!(report.counter("kernel/features"), Some(1));
+        assert_eq!(report.counter("sim/runs"), Some(1));
+
+        // The appended matrix and its stored bytes are identical to a cold
+        // recompute of the 7-run campaign in a fresh store.
+        let (dir2, store2) = tmp_store("append-cold");
+        let cold = run_campaign_incremental(&cfg7, &store2).unwrap();
+        assert_eq!(appended.matrix, cold.matrix);
+        assert_eq!(
+            appended
+                .matrix
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            cold.matrix
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        let fp = campaign_fingerprint(&cfg7);
+        for kind in [ArtifactKind::Gram, ArtifactKind::Distances] {
+            let a = std::fs::read(store.path_of(fp, kind)).unwrap();
+            let b = std::fs::read(store2.path_of(fp, kind)).unwrap();
+            assert_eq!(a, b, "append-published {kind:?} must be byte-identical");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+        let _ = std::fs::remove_dir_all(dir2);
+    }
+
+    #[test]
+    fn append_is_bit_identical_across_threads_dots_and_store_temperature() {
+        use anacin_kernels::feature::DotKind;
+        let base_cfg = small_cfg();
+        let reference = run_campaign(&base_cfg.clone().runs(8)).unwrap();
+        for dot in [DotKind::Scalar, DotKind::Blocked] {
+            for threads in [1usize, 2, 8] {
+                // Cold store: no prefix exists, so append falls back to the
+                // full incremental path.
+                let mut cfg = base_cfg.clone().runs(8).dot(dot);
+                cfg.threads = threads;
+                let (dir, store) = tmp_store(&format!("append-abt-{dot}-{threads}"));
+                let cold = run_campaign_append(&cfg, &store).unwrap();
+                assert_eq!(
+                    cold.matrix, reference.matrix,
+                    "cold dot={dot} threads={threads}"
+                );
+                // Warm store: grow the stored 8-run campaign one run at a
+                // time to 10; every intermediate matrix is published, and
+                // the final one matches a from-scratch campaign bit for bit.
+                let mut grown = cfg.clone();
+                for runs in 9..=10 {
+                    grown = grown.runs(runs);
+                    let r = run_campaign_append(&grown, &store).unwrap();
+                    assert_eq!(r.matrix.len(), runs as usize);
+                }
+                let full = run_campaign(&grown).unwrap();
+                let warm = run_campaign_append(&grown, &store).unwrap();
+                assert_eq!(warm.matrix, full.matrix, "warm dot={dot} threads={threads}");
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+
+    #[test]
+    fn append_without_stored_prefix_delegates_to_full_incremental() {
+        let cfg = small_cfg();
+        let (dir, store) = tmp_store("append-fallback");
+        let viaappend = run_campaign_append(&cfg, &store).unwrap();
+        let plain = run_campaign(&cfg).unwrap();
+        assert_eq!(viaappend.matrix, plain.matrix);
+        assert_eq!(viaappend.traces, plain.traces);
+        // And the store is now warm: a second append is a pure read.
+        let reg = MetricsRegistry::new();
+        let warm = run_campaign_append_with_metrics(&cfg, &store, Some(&reg)).unwrap();
+        assert_eq!(warm.matrix, plain.matrix);
+        assert_eq!(reg.report().counter("kernel/dot_products"), None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn approximate_campaigns_never_touch_campaign_level_store_entries() {
+        let cfg = small_cfg().approx(GramApprox::Landmarks(3));
+        let (dir, store) = tmp_store("approx-store");
+        let r = run_campaign_incremental(&cfg, &store).unwrap();
+        assert_eq!(r.matrix.len(), cfg.runs as usize);
+        // Per-run artifacts were published; the campaign-level matrix and
+        // distance sample were not (the key names exact artifacts only).
+        let exact = cfg.clone().approx(GramApprox::Exact);
+        assert!(store
+            .get::<KernelMatrix>(campaign_fingerprint(&exact))
+            .unwrap()
+            .is_none());
+        assert!(store
+            .get::<Trace>(run_fingerprint(&exact, 0))
+            .unwrap()
+            .is_some());
+        // A later exact run warm-hits those per-run artifacts and computes
+        // the exact matrix untainted.
+        let e = run_campaign_incremental(&exact, &store).unwrap();
+        assert_eq!(e.matrix, run_campaign(&exact).unwrap().matrix);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

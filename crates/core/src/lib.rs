@@ -48,15 +48,19 @@ pub mod prelude {
         run_traces_with_metrics, CampaignError, CampaignResult, Interrupted,
         StreamingCampaignResult,
     };
-    pub use crate::config::{default_threads, CampaignConfig, GramSchedule, KernelChoice};
+    pub use crate::config::{
+        default_threads, CampaignConfig, GramApprox, GramSchedule, KernelChoice,
+    };
     pub use crate::explore::{
         explore_campaign, explore_campaign_incremental, explore_campaign_incremental_observed,
         explore_campaign_observed, explore_fingerprint, ExploreCampaignResult, ExploreCoverage,
     };
     pub use crate::incremental::{
-        campaign_fingerprint, features_fingerprint, run_campaign_incremental,
-        run_campaign_incremental_cancellable, run_campaign_incremental_observed,
-        run_campaign_incremental_with_metrics, run_fingerprint, IncrementalError, KEY_SCHEMA,
+        campaign_fingerprint, features_fingerprint, run_campaign_append,
+        run_campaign_append_cancellable, run_campaign_append_with_metrics,
+        run_campaign_incremental, run_campaign_incremental_cancellable,
+        run_campaign_incremental_observed, run_campaign_incremental_with_metrics, run_fingerprint,
+        IncrementalError, KEY_SCHEMA,
     };
     pub use crate::measure::NdMeasurement;
     pub use crate::report::{
@@ -78,6 +82,6 @@ pub mod prelude {
 }
 
 pub use campaign::{run_campaign, run_campaign_with_metrics, CampaignError, CampaignResult};
-pub use config::{CampaignConfig, GramSchedule, KernelChoice};
+pub use config::{CampaignConfig, GramApprox, GramSchedule, KernelChoice};
 pub use incremental::{run_campaign_incremental, IncrementalError};
 pub use measure::NdMeasurement;

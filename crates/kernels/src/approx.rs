@@ -1,0 +1,390 @@
+//! Opt-in landmark (Nyström) approximation of the kernel matrix.
+//!
+//! The exact Gram stage pays `R(R+1)/2` sparse dot products — hopeless at
+//! the continuous-monitoring scale of R ≫ 10³ runs. The Nyström
+//! approximation picks `K ≪ R` *landmark* runs, computes only the `R × K`
+//! cross-kernel block `C` (plus the `R` exact diagonal norms for the error
+//! bound), and reconstructs
+//!
+//! ```text
+//! G̃ = C · W⁺ · Cᵀ,      W = the K × K landmark block of C
+//! ```
+//!
+//! where `W⁺` is the eigenvalue-thresholded pseudo-inverse of `W`
+//! (computed by a cyclic Jacobi eigendecomposition — `K` is small, so the
+//! O(K³) cost is noise). That is `R·K` dot products instead of `R²/2`.
+//!
+//! # This path is approximate, and never the default
+//!
+//! Everything else in the kernel stage is bit-exact; this module is the
+//! deliberate exception, and three guard rails keep it honest:
+//!
+//! * it must be requested explicitly (`--gram-approx landmarks=K`; the
+//!   config default is the exact path);
+//! * results are **never published to the artifact store** — a warm read
+//!   can only ever see exact matrices;
+//! * every call reports a rigorous Frobenius error bound through the
+//!   `kernel/approx_error_bound` gauge. For a PSD kernel matrix the
+//!   Nyström residual `E = G − G̃` is itself PSD (G̃ is the Gram matrix of
+//!   the feature vectors' orthogonal projections onto the landmark span),
+//!   so `‖E‖_F ≤ trace(E) = Σᵢ (k(i,i) − G̃ᵢᵢ)` — computable from the `R`
+//!   exact diagonal entries without ever forming the exact matrix. The
+//!   bound is checked against the true Frobenius error in tests.
+
+use crate::feature::{DotKind, SparseFeatures};
+use crate::matrix::KernelMatrix;
+use anacin_obs::MetricsRegistry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Relative eigenvalue threshold below which `W`'s spectrum is treated as
+/// zero in the pseudo-inverse (guards against blowing up numerical-noise
+/// directions when landmarks are nearly linearly dependent).
+const EIG_THRESHOLD: f64 = 1e-12;
+
+/// A landmark-approximate kernel matrix plus its exactness certificate.
+#[derive(Debug, Clone)]
+pub struct ApproxGram {
+    /// The reconstructed `R × R` matrix `G̃ = C W⁺ Cᵀ`.
+    pub matrix: KernelMatrix,
+    /// The landmark run indices actually used (sorted, unique).
+    pub landmarks: Vec<usize>,
+    /// Upper bound on `‖G − G̃‖_F` (the trace of the PSD residual).
+    pub error_bound: f64,
+}
+
+/// Deterministic landmark selection: `k` evenly spaced run indices over
+/// `0..n` (first run always included), deduplicated when `k ≥ n`. Evenly
+/// spaced beats random here — runs are seeded `base_seed + i`, so any
+/// drift over a long campaign is sampled uniformly, and determinism keeps
+/// repeated invocations comparable.
+pub fn landmark_indices(n: usize, k: usize) -> Vec<usize> {
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let mut out: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    out.dedup();
+    out
+}
+
+/// Compute the landmark (Nyström) approximation of the Gram matrix over
+/// `feats` with `k` landmarks, recording `kernel/dot_products` (the `R×K`
+/// cross block) and the `kernel/approx_error_bound` gauge.
+pub fn landmark_gram(
+    kernel_name: &str,
+    feats: &[SparseFeatures],
+    k: usize,
+    threads: usize,
+    dot: DotKind,
+    metrics: Option<&MetricsRegistry>,
+) -> ApproxGram {
+    let n = feats.len();
+    let landmarks = landmark_indices(n, k);
+    let m = landmarks.len();
+    let _span = metrics.map(|reg| reg.span("gram_approx"));
+    if let Some(reg) = metrics {
+        reg.counter("kernel/dot_products").add((n * m) as u64);
+    }
+    // C: the n × m cross block, row-parallel.
+    let threads = threads.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut c = vec![0.0f64; n * m];
+    let rows: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let landmarks = &landmarks;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let row: Vec<f64> = landmarks
+                            .iter()
+                            .map(|&l| dot.dot(&feats[i], &feats[l]))
+                            .collect();
+                        local.push((i, row));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for chunk in rows {
+        for (i, row) in chunk {
+            c[i * m..(i + 1) * m].copy_from_slice(&row);
+        }
+    }
+    // W: the landmark rows of C, symmetrised against rounding (W is a
+    // Gram matrix, so it is symmetric up to the bit-exact dot — which is
+    // exactly symmetric — but averaging costs nothing and keeps Jacobi's
+    // preconditions explicit).
+    let mut w = vec![0.0f64; m * m];
+    for (a, &la) in landmarks.iter().enumerate() {
+        for b in 0..m {
+            w[a * m + b] = c[la * m + b];
+        }
+    }
+    // Eigendecompose W = V Λ Vᵀ and apply the thresholded pseudo-inverse:
+    // G̃ = (C V) Λ⁺ (C V)ᵀ.
+    let (eigvals, v) = jacobi_eigen(&w, m);
+    let max_eig = eigvals.iter().cloned().fold(0.0f64, f64::max);
+    let inv: Vec<f64> = eigvals
+        .iter()
+        .map(|&l| {
+            if l > max_eig * EIG_THRESHOLD && l > 0.0 {
+                1.0 / l
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // B = C · V (n × m).
+    let mut b = vec![0.0f64; n * m];
+    for i in 0..n {
+        for col in 0..m {
+            let mut acc = 0.0;
+            for t in 0..m {
+                acc += c[i * m + t] * v[t * m + col];
+            }
+            b[i * m + col] = acc;
+        }
+    }
+    // G̃ upper triangle, mirrored.
+    let mut values = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0;
+            for t in 0..m {
+                acc += inv[t] * b[i * m + t] * b[j * m + t];
+            }
+            values[i * n + j] = acc;
+            values[j * n + i] = acc;
+        }
+    }
+    // Trace bound on the PSD residual, from the exact diagonal.
+    let mut error_bound = 0.0;
+    for (i, f) in feats.iter().enumerate() {
+        error_bound += (f.norm_sq() - values[i * n + i]).max(0.0);
+    }
+    if let Some(reg) = metrics {
+        reg.set_gauge("kernel/approx_error_bound", error_bound);
+    }
+    ApproxGram {
+        matrix: KernelMatrix::from_parts(n, values, kernel_name.to_string()),
+        landmarks,
+        error_bound,
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric `m × m` matrix (row
+/// major). Returns `(eigenvalues, V)` with `A = V diag(λ) Vᵀ` and `V`'s
+/// columns the eigenvectors. Plain textbook sweeps — `m` is the landmark
+/// count, so cubic cost is irrelevant — iterated until the off-diagonal
+/// mass is negligible.
+fn jacobi_eigen(a: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut a = a.to_vec();
+    let mut v = vec![0.0f64; m * m];
+    for i in 0..m {
+        v[i * m + i] = 1.0;
+    }
+    if m <= 1 {
+        return (a, v);
+    }
+    let scale: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    for _sweep in 0..64 {
+        let off: f64 = (0..m)
+            .flat_map(|p| (p + 1..m).map(move |q| (p, q)))
+            .map(|(p, q)| a[p * m + q] * a[p * m + q])
+            .sum();
+        if off.sqrt() <= scale * 1e-14 {
+            break;
+        }
+        for p in 0..m {
+            for q in (p + 1)..m {
+                let apq = a[p * m + q];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = a[p * m + p];
+                let aqq = a[q * m + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle (θ = 0 must give
+                // t = 1, the 45° rotation — so no signum, which is 0 at 0).
+                let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                let t = sign / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let cos = 1.0 / (t * t + 1.0).sqrt();
+                let sin = t * cos;
+                // Rotate rows/columns p and q of A.
+                for i in 0..m {
+                    let aip = a[i * m + p];
+                    let aiq = a[i * m + q];
+                    a[i * m + p] = cos * aip - sin * aiq;
+                    a[i * m + q] = sin * aip + cos * aiq;
+                }
+                for j in 0..m {
+                    let apj = a[p * m + j];
+                    let aqj = a[q * m + j];
+                    a[p * m + j] = cos * apj - sin * aqj;
+                    a[q * m + j] = sin * apj + cos * aqj;
+                }
+                // Accumulate the rotation into V.
+                for i in 0..m {
+                    let vip = v[i * m + p];
+                    let viq = v[i * m + q];
+                    v[i * m + p] = cos * vip - sin * viq;
+                    v[i * m + q] = sin * vip + cos * viq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..m).map(|i| a[i * m + i]).collect();
+    (eig, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GraphKernel;
+    use crate::matrix::{gram_from_features_with_metrics, parallel_features};
+    use crate::wl::WlKernel;
+    use anacin_event_graph::EventGraph;
+    use anacin_mpisim::prelude::*;
+
+    fn race_features(count: u64) -> Vec<SparseFeatures> {
+        let graphs: Vec<EventGraph> = (0..count)
+            .map(|seed| {
+                let mut b = ProgramBuilder::new(6);
+                for r in 1..6 {
+                    b.rank(Rank(r)).send(Rank(0), Tag(0), 1);
+                }
+                for _ in 1..6 {
+                    b.rank(Rank(0)).recv_any(TagSpec::Tag(Tag(0)));
+                }
+                let t = simulate(&b.build(), &SimConfig::with_nd_percent(100.0, seed)).unwrap();
+                EventGraph::from_trace(&t)
+            })
+            .collect();
+        parallel_features(&WlKernel::default(), &graphs, 2)
+    }
+
+    fn frobenius(a: &KernelMatrix, b: &KernelMatrix) -> f64 {
+        a.values()
+            .iter()
+            .zip(b.values())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn landmark_indices_are_deterministic_sorted_unique() {
+        assert_eq!(landmark_indices(10, 4), vec![0, 2, 5, 7]);
+        assert_eq!(landmark_indices(10, 4), landmark_indices(10, 4));
+        assert_eq!(landmark_indices(3, 16), vec![0, 1, 2]);
+        assert!(landmark_indices(0, 4).is_empty());
+        assert!(landmark_indices(4, 0).is_empty());
+        let l = landmark_indices(997, 64);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn jacobi_recovers_a_known_spectrum() {
+        // A = diag(3, 1) rotated by 45°: eigenvalues {3, 1}.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let a = [
+            3.0 * s * s + s * s,
+            3.0 * s * s - s * s,
+            3.0 * s * s - s * s,
+            3.0 * s * s + s * s,
+        ];
+        let (mut eig, v) = jacobi_eigen(&a, 2);
+        eig.sort_by(f64::total_cmp);
+        assert!((eig[0] - 1.0).abs() < 1e-12, "{eig:?}");
+        assert!((eig[1] - 3.0).abs() < 1e-12, "{eig:?}");
+        // V is orthogonal.
+        for i in 0..2 {
+            for j in 0..2 {
+                let d: f64 = (0..2).map(|t| v[t * 2 + i] * v[t * 2 + j]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_landmark_set_reproduces_the_exact_matrix() {
+        let feats = race_features(8);
+        let exact = gram_from_features_with_metrics(&WlKernel::default().name(), &feats, 1, None);
+        let approx = landmark_gram(
+            &WlKernel::default().name(),
+            &feats,
+            8,
+            2,
+            DotKind::Scalar,
+            None,
+        );
+        assert_eq!(approx.landmarks.len(), 8);
+        let err = frobenius(&approx.matrix, &exact);
+        let scale: f64 = exact.values().iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err <= scale * 1e-9, "err {err} vs scale {scale}");
+        assert!(approx.error_bound <= scale * 1e-6, "{}", approx.error_bound);
+    }
+
+    #[test]
+    fn error_bound_is_finite_and_dominates_the_true_error() {
+        let feats = race_features(16);
+        let name = WlKernel::default().name();
+        let exact = gram_from_features_with_metrics(&name, &feats, 1, None);
+        for k in [2, 4, 8] {
+            for dot in [DotKind::Scalar, DotKind::Blocked] {
+                let reg = anacin_obs::MetricsRegistry::new();
+                let approx = landmark_gram(&name, &feats, k, 2, dot, Some(&reg));
+                assert!(approx.error_bound.is_finite());
+                assert!(approx.error_bound >= 0.0);
+                let true_err = frobenius(&approx.matrix, &exact);
+                // Trace bound on a PSD residual dominates its Frobenius
+                // norm; small slack for the Jacobi/pinv rounding.
+                assert!(
+                    true_err <= approx.error_bound * (1.0 + 1e-6) + 1e-6,
+                    "k={k} dot={dot}: true {true_err} > bound {}",
+                    approx.error_bound
+                );
+                let report = reg.report();
+                assert_eq!(
+                    report.counter("kernel/dot_products"),
+                    Some((16 * approx.landmarks.len()) as u64),
+                    "only R×K dots"
+                );
+                assert_eq!(
+                    report.gauge("kernel/approx_error_bound"),
+                    Some(approx.error_bound)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_matrix_is_symmetric_with_thread_invariance() {
+        let feats = race_features(12);
+        let name = WlKernel::default().name();
+        let one = landmark_gram(&name, &feats, 4, 1, DotKind::Scalar, None);
+        let eight = landmark_gram(&name, &feats, 4, 8, DotKind::Scalar, None);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert_eq!(one.matrix.value(i, j), one.matrix.value(j, i));
+                assert_eq!(
+                    one.matrix.value(i, j).to_bits(),
+                    eight.matrix.value(i, j).to_bits(),
+                    "thread invariance ({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod artifact;
 pub mod distance;
 pub mod embed;
@@ -52,18 +53,20 @@ pub mod wl;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::approx::{landmark_gram, landmark_indices, ApproxGram};
     pub use crate::distance::{distance, kernel_distance, normalized_kernel};
     pub use crate::embed::{embedded_distance, mds, mds_from_distances, Embedding};
-    pub use crate::feature::SparseFeatures;
+    pub use crate::feature::{DotKind, SparseFeatures};
     pub use crate::graphlet::GraphletKernel;
     pub use crate::histogram::{EdgeHistogramKernel, VertexHistogramKernel};
     pub use crate::kernel::GraphKernel;
     pub use crate::matrix::{
-        gram_from_features_with_metrics, gram_matrix, gram_matrix_with_metrics, parallel_features,
-        parallel_features_with_metrics, KernelMatrix,
+        gram_append, gram_from_features_with_dot, gram_from_features_with_metrics, gram_matrix,
+        gram_matrix_with_metrics, parallel_features, parallel_features_with_metrics, KernelMatrix,
     };
     pub use crate::pipeline::{
-        gram_pipelined, gram_pipelined_seeded_with_metrics, gram_pipelined_with_metrics,
+        gram_pipelined, gram_pipelined_seeded_with_dot, gram_pipelined_seeded_with_metrics,
+        gram_pipelined_with_metrics,
     };
     pub use crate::shortest_path::ShortestPathKernel;
     pub use crate::wl::WlKernel;

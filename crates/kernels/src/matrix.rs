@@ -8,7 +8,7 @@
 //! without pulling in a task scheduler.
 
 use crate::distance::kernel_distance;
-use crate::feature::SparseFeatures;
+use crate::feature::{DotKind, SparseFeatures};
 use crate::kernel::GraphKernel;
 use anacin_event_graph::EventGraph;
 use anacin_obs::MetricsRegistry;
@@ -172,6 +172,19 @@ pub fn gram_from_features_with_metrics(
     threads: usize,
     metrics: Option<&MetricsRegistry>,
 ) -> KernelMatrix {
+    gram_from_features_with_dot(kernel_name, feats, threads, DotKind::Scalar, metrics)
+}
+
+/// [`gram_from_features_with_metrics`] with an explicit dot-product
+/// implementation. Both [`DotKind`]s are bit-identical, so this is purely
+/// a throughput knob.
+pub fn gram_from_features_with_dot(
+    kernel_name: &str,
+    feats: &[SparseFeatures],
+    threads: usize,
+    dot: DotKind,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
     let n = feats.len();
     // Pairwise dot products for the upper triangle. Row i costs n − i dot
     // products, so handing out whole rows front-to-back leaves the worker
@@ -205,7 +218,8 @@ pub fn gram_from_features_with_metrics(
                         let block: &[usize] = if pair == k { &[k] } else { &[k, pair] };
                         for &i in block {
                             // Compute the upper triangle of row i (j >= i).
-                            let row: Vec<f64> = (i..n).map(|j| feats[i].dot(&feats[j])).collect();
+                            let row: Vec<f64> =
+                                (i..n).map(|j| dot.dot(&feats[i], &feats[j])).collect();
                             local.push((i, row));
                         }
                     }
@@ -232,6 +246,81 @@ pub fn gram_from_features_with_metrics(
         n,
         values,
         kernel_name: kernel_name.to_string(),
+    }
+}
+
+/// Grow a Gram matrix by one run: `feats` holds all `R + 1` feature
+/// vectors (the stored campaign's `R` plus the new run's, last), `prev`
+/// the stored `R × R` matrix. Only the new row/column is computed —
+/// exactly `R + 1` dot products instead of the `(R+1)(R+2)/2` a cold
+/// recompute pays — counted into `kernel/dot_products` **and**
+/// `kernel/pipeline_tasks` (each dot is one task; the new run's feature
+/// extraction is counted separately by the caller via `kernel/features`).
+///
+/// **Bit-exactness.** The copied `R × R` block is the stored matrix's
+/// bytes unchanged, and each new entry `(i, R)` is computed by the same
+/// expression a cold recompute of row `i`'s upper triangle uses
+/// (`dot(feats[i], feats[R])`), written once to its two mirror slots. So
+/// append-then-read equals cold recompute bit-for-bit — differential
+/// tested in this module, in `core::incremental`, and by proptest over
+/// random run subsets in `tests/properties.rs`.
+pub fn gram_append(
+    prev: &KernelMatrix,
+    feats: &[SparseFeatures],
+    threads: usize,
+    dot: DotKind,
+    metrics: Option<&MetricsRegistry>,
+) -> KernelMatrix {
+    let n = feats.len();
+    assert_eq!(
+        n,
+        prev.n + 1,
+        "gram_append expects the previous matrix plus exactly one new feature vector"
+    );
+    let _span = metrics.map(|m| m.span("gram"));
+    if let Some(m) = metrics {
+        m.counter("kernel/dot_products").add(n as u64);
+        m.counter("kernel/pipeline_tasks").add(n as u64);
+    }
+    let mut values = vec![0.0; n * n];
+    for i in 0..prev.n {
+        values[i * n..i * n + prev.n].copy_from_slice(&prev.values[i * prev.n..(i + 1) * prev.n]);
+    }
+    let new = n - 1;
+    let threads = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    let col: Vec<Vec<(usize, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i > new {
+                            break;
+                        }
+                        local.push((i, dot.dot(&feats[i], &feats[new])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for chunk in col {
+        for (i, v) in chunk {
+            values[i * n + new] = v;
+            values[new * n + i] = v;
+        }
+    }
+    KernelMatrix {
+        n,
+        values,
+        kernel_name: prev.kernel_name.clone(),
     }
 }
 
@@ -310,6 +399,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn blocked_dot_gram_is_bit_identical_to_scalar() {
+        let graphs = race_graphs(7, 100.0);
+        let k = WlKernel::default();
+        let feats = parallel_features(&k, &graphs, 2);
+        let scalar = gram_from_features_with_metrics(&k.name(), &feats, 1, None);
+        for threads in [1, 2, 8] {
+            let blocked = gram_from_features_with_dot(
+                &k.name(),
+                &feats,
+                threads,
+                crate::feature::DotKind::Blocked,
+                None,
+            );
+            for i in 0..7 {
+                for j in 0..7 {
+                    assert_eq!(
+                        blocked.value(i, j).to_bits(),
+                        scalar.value(i, j).to_bits(),
+                        "threads={threads} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_append_equals_cold_recompute_and_counts_r_plus_1_dots() {
+        let graphs = race_graphs(8, 100.0);
+        let k = WlKernel::default();
+        let feats = parallel_features(&k, &graphs, 2);
+        for dot in [DotKind::Scalar, DotKind::Blocked] {
+            // Grow from 1 run to 8, one append at a time, at several
+            // thread counts; every intermediate matrix must equal the
+            // cold recompute of the same prefix bit-for-bit.
+            for threads in [1, 2, 8] {
+                let mut m = gram_from_features_with_dot(&k.name(), &feats[..1], 1, dot, None);
+                for r in 1..8 {
+                    let reg = anacin_obs::MetricsRegistry::new();
+                    m = gram_append(&m, &feats[..=r], threads, dot, Some(&reg));
+                    let report = reg.report();
+                    assert_eq!(report.counter("kernel/dot_products"), Some(r as u64 + 1));
+                    assert_eq!(report.counter("kernel/pipeline_tasks"), Some(r as u64 + 1));
+                    let cold = gram_from_features_with_dot(&k.name(), &feats[..=r], 1, dot, None);
+                    assert_eq!(m.len(), r + 1);
+                    for i in 0..=r {
+                        for j in 0..=r {
+                            assert_eq!(
+                                m.value(i, j).to_bits(),
+                                cold.value(i, j).to_bits(),
+                                "dot={dot} threads={threads} r={r} ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one new feature vector")]
+    fn gram_append_rejects_wrong_feature_count() {
+        let graphs = race_graphs(4, 100.0);
+        let k = WlKernel::default();
+        let feats = parallel_features(&k, &graphs, 1);
+        let m = gram_from_features_with_metrics(&k.name(), &feats[..2], 1, None);
+        gram_append(&m, &feats, 1, DotKind::Scalar, None);
     }
 
     #[test]

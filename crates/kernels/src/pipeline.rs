@@ -21,7 +21,7 @@
 //! single bit. Differential tests in `tests/pipeline.rs` assert equality
 //! against the barrier path for all five kernels across thread counts.
 
-use crate::feature::SparseFeatures;
+use crate::feature::{DotKind, SparseFeatures};
 use crate::kernel::GraphKernel;
 use crate::matrix::KernelMatrix;
 use anacin_event_graph::EventGraph;
@@ -91,6 +91,20 @@ pub fn gram_pipelined_seeded_with_metrics(
     threads: usize,
     metrics: Option<&MetricsRegistry>,
 ) -> (Vec<SparseFeatures>, KernelMatrix) {
+    gram_pipelined_seeded_with_dot(kernel, graphs, seeds, threads, DotKind::Scalar, metrics)
+}
+
+/// [`gram_pipelined_seeded_with_metrics`] with an explicit dot-product
+/// implementation. Both [`DotKind`]s are bit-identical, so this is purely
+/// a throughput knob.
+pub fn gram_pipelined_seeded_with_dot(
+    kernel: &dyn GraphKernel,
+    graphs: &[EventGraph],
+    seeds: Vec<Option<SparseFeatures>>,
+    threads: usize,
+    dot: DotKind,
+    metrics: Option<&MetricsRegistry>,
+) -> (Vec<SparseFeatures>, KernelMatrix) {
     assert_eq!(seeds.len(), graphs.len(), "one seed slot per graph");
     let n = graphs.len();
     let n_dots = n * (n + 1) / 2;
@@ -105,7 +119,7 @@ pub fn gram_pipelined_seeded_with_metrics(
         m.set_gauge("kernel/threads", threads as f64);
     }
     let start = Instant::now();
-    let (slots, values) = run_pipeline(kernel, graphs, seeds, threads, metrics, |st| {
+    let (slots, values) = run_pipeline(kernel, graphs, seeds, threads, dot, metrics, |st| {
         // Record how the pipeline wall time divides into "features still
         // being extracted" vs "pure dot-product tail" under the pipeline
         // span's own path, e.g. `campaign/kernel/pipeline/features`.
@@ -226,6 +240,7 @@ fn run_pipeline(
     graphs: &[EventGraph],
     seeds: Vec<Option<SparseFeatures>>,
     threads: usize,
+    dot: DotKind,
     metrics: Option<&MetricsRegistry>,
     on_drained: impl FnOnce(&QueueState),
 ) -> (Vec<OnceLock<SparseFeatures>>, Vec<f64>) {
@@ -309,7 +324,7 @@ fn run_pipeline(
                         }
                         let fi = slots[i].get().expect("operand i ready");
                         let fj = slots[j].get().expect("operand j ready");
-                        local.push((i, j, fi.dot(fj)));
+                        local.push((i, j, dot.dot(fi, fj)));
                     }
                     local
                 })
@@ -389,6 +404,19 @@ mod tests {
             let (out_feats, m) = gram_pipelined_seeded_with_metrics(&k, &graphs, seeds, 3, None);
             assert_eq!(out_feats, feats, "pattern={pattern}");
             assert_eq!(m, barrier, "pattern={pattern}");
+        }
+    }
+
+    #[test]
+    fn pipelined_blocked_dot_equals_scalar_barrier() {
+        let graphs = race_graphs(7, 100.0);
+        let k = WlKernel::default();
+        let barrier = gram_matrix(&k, &graphs, 1);
+        for threads in [1, 2, 8] {
+            let seeds = (0..graphs.len()).map(|_| None).collect();
+            let (_, m) =
+                gram_pipelined_seeded_with_dot(&k, &graphs, seeds, threads, DotKind::Blocked, None);
+            assert_eq!(m, barrier, "threads={threads}");
         }
     }
 

@@ -108,6 +108,80 @@ proptest! {
         }
     }
 
+    /// Growing a Gram matrix run-by-run with `gram_append` is
+    /// bit-identical to the full recompute, for any prefix split, thread
+    /// count, and dot kind — and the blocked dot never changes a bit of
+    /// the full matrix either.
+    #[test]
+    fn gram_append_matches_full_recompute(
+        n in 2usize..7,
+        split in 1usize..6,
+        threads in 1usize..5,
+        dot_i in 0usize..2,
+        seed in 0u64..20,
+    ) {
+        let dot = if dot_i == 0 { DotKind::Scalar } else { DotKind::Blocked };
+        let k = WlKernel::default();
+        let graphs: Vec<_> = (0..n)
+            .map(|i| race_graph(5, 100.0, seed + i as u64))
+            .collect();
+        let feats: Vec<_> = graphs.iter().map(|g| k.features(g)).collect();
+        let full = gram_from_features_with_dot("wl", &feats, threads, dot, None);
+        let scalar = gram_from_features_with_dot("wl", &feats, threads, DotKind::Scalar, None);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(full.value(i, j).to_bits(), scalar.value(i, j).to_bits());
+            }
+        }
+        let start = split.min(n - 1);
+        let mut grown = gram_from_features_with_dot("wl", &feats[..start], threads, dot, None);
+        for upto in start + 1..=n {
+            grown = gram_append(&grown, &feats[..upto], threads, dot, None);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(grown.value(i, j).to_bits(), full.value(i, j).to_bits());
+            }
+        }
+    }
+
+    /// The landmark approximation is symmetric, its reported Frobenius
+    /// bound dominates the true error, and a full landmark set
+    /// reproduces the exact matrix to rounding.
+    #[test]
+    fn landmark_bound_dominates_true_error(
+        n in 2usize..7,
+        k_landmarks in 1usize..7,
+        seed in 0u64..20,
+    ) {
+        let kern = WlKernel::default();
+        let graphs: Vec<_> = (0..n)
+            .map(|i| race_graph(4, 100.0, seed + i as u64))
+            .collect();
+        let feats: Vec<_> = graphs.iter().map(|g| kern.features(g)).collect();
+        let exact = gram_from_features_with_dot("wl", &feats, 1, DotKind::Scalar, None);
+        let approx = landmark_gram("wl", &feats, k_landmarks, 1, DotKind::Scalar, None);
+        let scale: f64 = (0..n).map(|i| exact.value(i, i)).sum::<f64>().max(1.0);
+        let mut err2 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let e = exact.value(i, j) - approx.matrix.value(i, j);
+                err2 += e * e;
+                let asym = (approx.matrix.value(i, j) - approx.matrix.value(j, i)).abs();
+                prop_assert!(asym < 1e-9 * scale, "asymmetry {asym} at ({i},{j})");
+            }
+        }
+        prop_assert!(approx.error_bound.is_finite() && approx.error_bound >= 0.0);
+        prop_assert!(
+            err2.sqrt() <= approx.error_bound + 1e-6 * scale,
+            "true error {} exceeds reported bound {}", err2.sqrt(), approx.error_bound
+        );
+        if k_landmarks >= n {
+            prop_assert!(err2.sqrt() <= 1e-6 * scale,
+                "full landmark set left error {}", err2.sqrt());
+        }
+    }
+
     /// The Gram matrix is thread-count invariant.
     #[test]
     fn gram_matrix_parallel_determinism(

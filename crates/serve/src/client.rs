@@ -160,6 +160,33 @@ impl Client {
         self.wait(id, on_progress)
     }
 
+    /// Submit `job` and block until a terminal frame, retrying refused
+    /// admissions up to `retries` times. Each `Busy` answer is followed
+    /// by a sleep of the server-suggested `retry_after_ms` before the
+    /// job is resubmitted under a fresh id (`id`, `id + 1`, …), so the
+    /// backoff is always the server's current suggestion, not a guess.
+    /// When every attempt is refused the final `Rejected` outcome is
+    /// returned so callers can report how long the server asked for.
+    pub fn run_with_retry(
+        &mut self,
+        id: u64,
+        job: JobSpec,
+        retries: u32,
+        mut on_progress: impl FnMut(&Frame),
+    ) -> Result<Outcome, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.run(id + attempt as u64, job.clone(), &mut on_progress)?;
+            match outcome {
+                Outcome::Rejected { retry_after_ms } if attempt < retries => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
     /// Block until job `id` reaches a terminal frame (`Result`,
     /// `Error`, or `Busy`). Frames about other job ids are skipped, so
     /// callers can interleave jobs and wait for each in turn.

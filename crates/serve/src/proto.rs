@@ -54,6 +54,15 @@ pub enum JobSpec {
         /// Disable partial-order reduction (the CLI's `--brute-force`).
         brute_force: bool,
     },
+    /// One measurement campaign, appending onto the server's stored
+    /// prefix of the same run set (`anacin run --append-to`): the kernel
+    /// stage reuses the largest stored Gram matrix and computes only the
+    /// new rows/columns. The result payload is byte-identical to
+    /// `Campaign` for the same config.
+    Append {
+        /// The campaign to run.
+        config: CampaignConfig,
+    },
 }
 
 impl JobSpec {
@@ -62,7 +71,8 @@ impl JobSpec {
         match self {
             JobSpec::Campaign { config }
             | JobSpec::Sweep { config, .. }
-            | JobSpec::Explore { config, .. } => config,
+            | JobSpec::Explore { config, .. }
+            | JobSpec::Append { config } => config,
         }
     }
 
@@ -70,7 +80,9 @@ impl JobSpec {
     /// Sweeps multiply by their point count.
     pub fn total_runs(&self) -> u64 {
         match self {
-            JobSpec::Campaign { config } | JobSpec::Explore { config, .. } => config.runs as u64,
+            JobSpec::Campaign { config }
+            | JobSpec::Explore { config, .. }
+            | JobSpec::Append { config } => config.runs as u64,
             JobSpec::Sweep { kind, config } => {
                 let points = match kind.as_str() {
                     "nd" => 11,
@@ -212,10 +224,14 @@ mod tests {
             Frame::Submit {
                 id: 3,
                 job: JobSpec::Explore {
-                    config: cfg,
+                    config: cfg.clone(),
                     budget: 64,
                     brute_force: false,
                 },
+            },
+            Frame::Submit {
+                id: 4,
+                job: JobSpec::Append { config: cfg },
             },
             Frame::Progress {
                 id: 1,

@@ -98,6 +98,12 @@ impl ServerConfig {
         self.progress_interval = t;
         self
     }
+
+    /// Set the backoff suggested in `Busy` frames.
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
 }
 
 /// A connected byte stream, Unix-domain or TCP.
@@ -636,6 +642,21 @@ fn run_spec(
                 0,
                 Some(cancel),
             ) {
+                Ok(result) => match measurement_json(config, &result.matrix) {
+                    Ok(json) => format!("{json}\n"),
+                    Err(e) => return JobOutcome::Failed(e.to_string()),
+                },
+                Err(Interrupted::Cancelled { .. }) => return JobOutcome::Cancelled,
+                Err(Interrupted::Failed(e)) => return JobOutcome::Failed(e.to_string()),
+            }
+        }
+        JobSpec::Append { config } => {
+            // Same payload shape as `Campaign`; only the kernel stage
+            // differs (stored-prefix reuse), and append-then-read is
+            // byte-identical to a cold recompute, so the result payload
+            // is too.
+            match run_campaign_append_cancellable(config, &store, Some(reg), None, 0, Some(cancel))
+            {
                 Ok(result) => match measurement_json(config, &result.matrix) {
                     Ok(json) => format!("{json}\n"),
                     Err(e) => return JobOutcome::Failed(e.to_string()),

@@ -162,6 +162,107 @@ fn submits_beyond_capacity_get_busy() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A `Busy` answer is not fatal when the client retries: with the
+/// one-slot queue pinned full behind a long job, `run_with_retry`
+/// sleeps the server-suggested backoff between attempts and lands the
+/// job once capacity frees — and the interim refusals are counted.
+#[test]
+fn busy_submit_succeeds_after_server_suggested_backoff() {
+    let (dir, handle) = start("retry", |c| {
+        c.workers(1).queue_capacity(1).retry_after_ms(20)
+    });
+    let mut alice = connect(&dir, "alice");
+    // A long job the single worker picks up…
+    let long = CampaignConfig::new(Pattern::UnstructuredMesh, 32).runs(40);
+    alice
+        .submit(1, JobSpec::Campaign { config: long })
+        .expect("submit long job");
+    while handle.metrics().counter("serve/jobs_admitted").unwrap_or(0) < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …give the worker a beat to pop it, then pin the queue's one slot.
+    std::thread::sleep(Duration::from_millis(20));
+    let quick = CampaignConfig::new(Pattern::MessageRace, 4).runs(2);
+    alice
+        .submit(
+            2,
+            JobSpec::Campaign {
+                config: quick.clone(),
+            },
+        )
+        .expect("submit queued job");
+    // A second client retrying into the full queue eventually lands.
+    let mut bob = connect(&dir, "bob");
+    let outcome = bob
+        .run_with_retry(7, JobSpec::Campaign { config: quick }, 500, |_| {})
+        .expect("retrying job");
+    done(outcome);
+    done(alice.wait(1, |_| {}).expect("long job"));
+    done(alice.wait(2, |_| {}).expect("queued job"));
+    let report = handle.join();
+    assert!(
+        report.counter("serve/jobs_rejected").unwrap_or(0) >= 1,
+        "the full queue must have refused at least one attempt"
+    );
+    assert_eq!(report.counter("serve/jobs_completed"), Some(3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An `Append` job's payload is byte-identical to the equivalent
+/// `Campaign` job (and the local CLI) whether the store holds a prefix
+/// to grow or not — append is a schedule, never a different answer.
+#[test]
+fn append_job_payload_matches_campaign_job() {
+    let base = CampaignConfig::new(Pattern::Amg2013, 16).runs(6);
+    let grown = base.clone().runs(7);
+    let expected = {
+        let result = run_campaign(&grown).expect("local campaign");
+        format!(
+            "{}\n",
+            measurement_json(&grown, &result.matrix).expect("local json")
+        )
+    };
+
+    let (dir, handle) = start("append", |c| c.workers(1));
+    let mut client = connect(&dir, "appender");
+    // Cold append — no stored prefix — falls back to the full
+    // incremental path and still answers the CLI-identical payload.
+    let cold = done(
+        client
+            .run(
+                1,
+                JobSpec::Append {
+                    config: base.clone(),
+                },
+                |_| {},
+            )
+            .expect("cold append"),
+    );
+    let local_base = run_campaign(&base).expect("local base campaign");
+    assert_eq!(
+        cold.payload,
+        format!(
+            "{}\n",
+            measurement_json(&base, &local_base.matrix).expect("local base json")
+        ),
+        "cold append payload must match the local CLI"
+    );
+    // Warm append — grow the stored 6-run campaign by one run.
+    let warm = done(
+        client
+            .run(2, JobSpec::Append { config: grown }, |_| {})
+            .expect("warm append"),
+    );
+    assert_eq!(
+        warm.payload, expected,
+        "appended payload must match a cold recompute byte-for-byte"
+    );
+    assert!(warm.store_hits > 0, "append must reuse the stored prefix");
+    let report = handle.join();
+    assert_eq!(report.counter("serve/jobs_completed"), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Cancelling a job — queued or already running — answers an Error
 /// frame naming the cancellation; the worker pool survives.
 #[test]

@@ -204,6 +204,106 @@ pub fn oracle_schedule_exhaustiveness(
     Ok(Some(report.schedules.len()))
 }
 
+/// Growing a Gram matrix one run at a time with `gram_append` must be
+/// bit-identical to the one-shot recompute — under both dot kinds — and
+/// the appended matrix must still satisfy the distance axioms: zero
+/// diagonal (a replayed run is zero distance from itself), symmetry,
+/// and non-negativity.
+pub fn oracle_append_invariance(graphs: &[EventGraph]) -> Result<(), String> {
+    let wl = WlKernel::default();
+    let feats: Vec<SparseFeatures> = graphs.iter().map(|g| wl.features(g)).collect();
+    for dot in [DotKind::Scalar, DotKind::Blocked] {
+        let full = gram_from_features_with_dot("wl", &feats, 2, dot, None);
+        let mut grown = gram_from_features_with_dot("wl", &feats[..1], 2, dot, None);
+        for upto in 2..=feats.len() {
+            grown = gram_append(&grown, &feats[..upto], 2, dot, None);
+        }
+        for i in 0..feats.len() {
+            for j in 0..feats.len() {
+                if grown.value(i, j).to_bits() != full.value(i, j).to_bits() {
+                    return Err(format!(
+                        "gram_append({dot}) diverged from recompute at ({i},{j}): \
+                         {} vs {}",
+                        grown.value(i, j),
+                        full.value(i, j)
+                    ));
+                }
+            }
+        }
+        for i in 0..feats.len() {
+            let self_d = grown.distance(i, i);
+            if self_d != 0.0 {
+                return Err(format!("appended gram: d({i},{i}) = {self_d}, expected 0"));
+            }
+            for j in i + 1..feats.len() {
+                let dij = grown.distance(i, j);
+                let dji = grown.distance(j, i);
+                if !dij.is_finite() || dij < 0.0 || dij.to_bits() != dji.to_bits() {
+                    return Err(format!(
+                        "appended gram: d({i},{j}) = {dij}, d({j},{i}) = {dji}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The landmark approximation must stay on the right side of its
+/// claims: the matrix is symmetric, the reported Frobenius bound
+/// dominates the true error against the exact matrix, a full landmark
+/// set reproduces the exact matrix to rounding, and a duplicated run
+/// (the replay case) stays at ~zero approximate distance from its twin.
+pub fn oracle_approx_bound(graphs: &[EventGraph]) -> Result<(), String> {
+    let wl = WlKernel::default();
+    let mut feats: Vec<SparseFeatures> = graphs.iter().map(|g| wl.features(g)).collect();
+    // Duplicate the first run: an exact replay in feature space.
+    feats.push(feats[0].clone());
+    let n = feats.len();
+    let exact = gram_from_features_with_dot("wl", &feats, 2, DotKind::Scalar, None);
+    let scale: f64 = (0..n).map(|i| exact.value(i, i)).sum::<f64>().max(1.0);
+    for k in [n.div_ceil(2), n] {
+        let approx = landmark_gram("wl", &feats, k, 2, DotKind::Scalar, None);
+        if !approx.error_bound.is_finite() || approx.error_bound < 0.0 {
+            return Err(format!(
+                "landmark_gram(k={k}) reported error bound {}",
+                approx.error_bound
+            ));
+        }
+        let mut err2 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let asym = (approx.matrix.value(i, j) - approx.matrix.value(j, i)).abs();
+                if asym > TOL * scale {
+                    return Err(format!("landmark_gram(k={k}) asymmetric at ({i},{j})"));
+                }
+                let e = exact.value(i, j) - approx.matrix.value(i, j);
+                err2 += e * e;
+            }
+        }
+        if err2.sqrt() > approx.error_bound + TOL * scale {
+            return Err(format!(
+                "landmark_gram(k={k}) true error {} exceeds reported bound {}",
+                err2.sqrt(),
+                approx.error_bound
+            ));
+        }
+        if k == n && err2.sqrt() > TOL * scale {
+            return Err(format!(
+                "full landmark set left Frobenius error {}",
+                err2.sqrt()
+            ));
+        }
+        let twin_d = approx.matrix.distance(0, n - 1).abs();
+        if k == n && twin_d > TOL * scale.sqrt() {
+            return Err(format!(
+                "replayed run sits {twin_d} from its twin in the approximate matrix"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Gram matrices must not depend on the worker thread count.
 pub fn oracle_thread_invariance(graphs: &[EventGraph]) -> Result<(), String> {
     let wl = WlKernel::default();
@@ -264,6 +364,8 @@ pub fn check_generated(gp: &GeneratedProgram) -> Result<OracleSummary, String> {
         oracle_replay_zero_distance(p, 100.0, seed, &[seed ^ 2, seed.wrapping_add(33)])?;
     let kernel_pairs = oracle_kernel_axioms(&graphs)?;
     oracle_thread_invariance(&graphs)?;
+    oracle_append_invariance(&graphs)?;
+    oracle_approx_bound(&graphs)?;
 
     Ok(OracleSummary {
         validation,
